@@ -1,0 +1,45 @@
+# Convenience targets for the bounded path length routing library.
+
+GO ?= go
+
+.PHONY: all build test vet bench quick experiments examples cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# full benchmark sweep, including the per-table/figure harness benches
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# every table and figure at reduced size (seconds)
+quick:
+	$(GO) run ./cmd/experiments -quick
+
+# every table and figure at paper size (hours on the r4/r5 stand-ins)
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clocktree
+	$(GO) run ./examples/steiner
+	$(GO) run ./examples/elmore
+	$(GO) run ./examples/globalroute
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzReadInstance -fuzztime 30s ./internal/bench/
+	$(GO) test -fuzz FuzzReadNetlist -fuzztime 30s ./internal/router/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,220 @@
+package bpmst
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§7), each driving the same code as `cmd/experiments -run <id>` in
+// quick mode, plus micro-benchmarks of the individual constructions.
+// Regenerate the full-size tables with:
+//
+//	go run ./cmd/experiments            # full grids (hours on r4/r5)
+//	go run ./cmd/experiments -quick     # reduced grids (seconds)
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Out: io.Discard, Quick: true, Cases: 3}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Characteristics regenerates Table 1 (benchmark
+// characteristics: #pts, #edges, R, r).
+func BenchmarkTable1Characteristics(b *testing.B) { runExperiment(b, "1") }
+
+// BenchmarkTable2SpecialBenchmarks regenerates Table 2 (BMST_G, BKEX,
+// BKRUS, BKH2 and BPRIM on the special benchmarks p1-p4).
+func BenchmarkTable2SpecialBenchmarks(b *testing.B) { runExperiment(b, "2") }
+
+// BenchmarkTable3LargeBenchmarks regenerates Table 3 (BKRUS and BKH2 on
+// the large pr*/r* stand-ins).
+func BenchmarkTable3LargeBenchmarks(b *testing.B) {
+	cfg := benchCfg()
+	cfg.ExchangeBudget = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4RandomNets regenerates Table 4 (cost over MST for
+// BPRIM, BRBC, BKRUS, BKH2, BMST_G and BKST on random nets).
+func BenchmarkTable4RandomNets(b *testing.B) { runExperiment(b, "4") }
+
+// BenchmarkTable5LowerUpperBounded regenerates Table 5 (lower+upper
+// bounded BKRUS: skew s and cost ratio r).
+func BenchmarkTable5LowerUpperBounded(b *testing.B) { runExperiment(b, "5") }
+
+// BenchmarkFigure1BPRIMPathology regenerates Figure 1 (the BPRIM
+// pathology on the chain configuration).
+func BenchmarkFigure1BPRIMPathology(b *testing.B) { runExperiment(b, "f1") }
+
+// BenchmarkFigure9TradeoffCurve regenerates Figure 9 (longest path and
+// cost versus ε).
+func BenchmarkFigure9TradeoffCurve(b *testing.B) { runExperiment(b, "f9") }
+
+// BenchmarkFigure10RatioCurves regenerates Figure 10 (BKRUS/MST,
+// BKEX/MST, BKRUS/BKEX, BKH2/BKEX versus ε).
+func BenchmarkFigure10RatioCurves(b *testing.B) { runExperiment(b, "f10") }
+
+// BenchmarkFigure11CostChart regenerates Figure 11 (the routing cost
+// ordering chart).
+func BenchmarkFigure11CostChart(b *testing.B) { runExperiment(b, "f11") }
+
+// BenchmarkFigure12SkewTradeoff regenerates Figure 12 (skew versus cost
+// under lower+upper bounds).
+func BenchmarkFigure12SkewTradeoff(b *testing.B) { runExperiment(b, "f12") }
+
+// BenchmarkFigure13ArcPathology regenerates Figure 13 (the
+// cost(BKT)/cost(MST) ≈ N arc family).
+func BenchmarkFigure13ArcPathology(b *testing.B) { runExperiment(b, "f13") }
+
+// BenchmarkDepthStats regenerates the §5 BKEX depth-optimality study.
+func BenchmarkDepthStats(b *testing.B) { runExperiment(b, "depth") }
+
+// --- micro-benchmarks of the public constructions ---
+
+func randomBenchNet(seed int64, sinks int) *Net {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, sinks)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	n, err := NewNet(Point{X: 500, Y: 500}, pts, Manhattan)
+	if err != nil {
+		panic(err)
+	}
+	_ = n.MST() // warm the distance matrix outside the timed loop
+	return n
+}
+
+func BenchmarkBKRUS50(b *testing.B) {
+	n := randomBenchNet(1, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKRUS(n, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBKRUS200(b *testing.B) {
+	n := randomBenchNet(2, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKRUS(n, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBKRUSLarge(b *testing.B) {
+	in, _ := bench.Large("r1")
+	n, err := NewNet(in.Source(), in.Sinks(), in.Metric())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.MST()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKRUS(n, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBKH2Net15(b *testing.B) {
+	n := randomBenchNet(3, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKH2(n, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBKEXNet10(b *testing.B) {
+	n := randomBenchNet(4, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKEX(n, 0.2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBMSTGNet10(b *testing.B) {
+	n := randomBenchNet(5, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BMSTG(n, 0.2, GabowOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBPRIM200(b *testing.B) {
+	n := randomBenchNet(6, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BPRIM(n, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBRBC200(b *testing.B) {
+	n := randomBenchNet(7, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BRBC(n, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBKST15(b *testing.B) {
+	n := randomBenchNet(8, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKST(n, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElmoreBKRUS30(b *testing.B) {
+	n := randomBenchNet(9, 30)
+	m := DefaultRCModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKRUSElmore(n, 0.5, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Command bmstree constructs a bounded path length routing tree for one
+// instance and prints its edges and quality metrics.
+//
+// Usage:
+//
+//	bmstree -algo bkrus -eps 0.2 [-in file | -bench p1 | -random N]
+//	bmstree -algo bkruslu -eps1 0.3 -eps2 0.5 -bench p4
+//	bmstree -algo bkst -eps 0.1 -random 12 -seed 7
+//
+// Instances come from a file in the text format of internal/bench
+// (-in), a named paper benchmark (-bench p1..p4, pr1, pr2, r1..r5), or a
+// seeded random net (-random N sinks). Algorithms: mst, spt, maxst,
+// bkrus, bkruslu, bprim, brbc, bkh2, bkex, bmstg, bkst, bkstlu,
+// bkstplanar, elmore, bkh2elmore. -svg writes an SVG rendering of the
+// result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/inst"
+
+	bpmst "repro"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "bkrus", "algorithm: mst|spt|maxst|bkrus|bkruslu|bprim|brbc|ahhk|bkh2|bkex|bmstg|bkst|bkstlu|bkstplanar|elmore|bkh2elmore")
+		eps    = flag.Float64("eps", 0.2, "path length slack: bound = (1+eps)*R")
+		eps1   = flag.Float64("eps1", 0, "lower bound factor for bkruslu")
+		eps2   = flag.Float64("eps2", 0.2, "upper bound slack for bkruslu")
+		inFile = flag.String("in", "", "instance file (see internal/bench text format)")
+		name   = flag.String("bench", "", "named benchmark: p1..p4, pr1, pr2, r1..r5")
+		random = flag.Int("random", 0, "generate a random net with this many sinks")
+		seed   = flag.Int64("seed", 1, "seed for -random")
+		depth  = flag.Int("depth", 0, "bkex exchange depth limit (0 = V-1)")
+		quiet  = flag.Bool("quiet", false, "print only the summary line")
+		svg    = flag.String("svg", "", "write an SVG rendering of the tree to this file")
+		dump   = flag.String("dump", "", "write the loaded instance to this file (text format)")
+	)
+	flag.Parse()
+
+	in, err := loadInstance(*inFile, *name, *random, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
+	if err != nil {
+		fatal(err)
+	}
+	if *dump != "" {
+		if err := dumpInstance(*dump, in); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *algo == "bkst" || *algo == "bkstlu" || *algo == "bkstplanar" {
+		var st *bpmst.SteinerTree
+		switch *algo {
+		case "bkst":
+			st, err = bpmst.BKST(net, *eps)
+		case "bkstlu":
+			st, err = bpmst.BKSTLU(net, *eps1, *eps2)
+		case "bkstplanar":
+			st, err = bpmst.BKSTPlanar(net, *eps)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			for _, s := range st.Segments() {
+				fmt.Printf("wire %v -- %v  len %.4g\n", s.A, s.B, s.Length)
+			}
+		}
+		if *svg != "" {
+			if err := writeSteinerSVG(*svg, st); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("algo=%s sinks=%d cost=%.6g radius=%.6g R=%.6g bound=%.6g cost/MST=%.4f planar=%v\n",
+			*algo, net.NumSinks(), st.Cost(), st.Radius(), net.R(), net.Bound(*eps), st.PerfRatio(net.MST()), st.IsPlanar())
+		return
+	}
+
+	tree, err := buildTree(net, *algo, *eps, *eps1, *eps2, *depth)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		for _, e := range tree.Edges() {
+			fmt.Printf("edge %d -- %d  len %.4g\n", e.U, e.V, e.W)
+		}
+	}
+	if *svg != "" {
+		if err := writeTreeSVG(*svg, tree); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("algo=%s sinks=%d cost=%.6g radius=%.6g R=%.6g skew=%.4g cost/MST=%.4f\n",
+		*algo, net.NumSinks(), tree.Cost(), tree.Radius(), net.R(), tree.Skew(),
+		tree.PerfRatio(net.MST()))
+}
+
+func loadInstance(file, name string, random int, seed int64) (*inst.Instance, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.ReadInstance(f)
+	case name != "":
+		in, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		return in, nil
+	case random > 0:
+		return bench.Random(seed, random, 100), nil
+	default:
+		return nil, fmt.Errorf("specify one of -in, -bench, -random")
+	}
+}
+
+func buildTree(net *bpmst.Net, algo string, eps, eps1, eps2 float64, depth int) (*bpmst.Tree, error) {
+	switch algo {
+	case "mst":
+		return net.MST(), nil
+	case "spt":
+		return net.SPT(), nil
+	case "maxst":
+		return net.MaxST(), nil
+	case "bkrus":
+		return bpmst.BKRUS(net, eps)
+	case "bkruslu":
+		return bpmst.BKRUSLU(net, eps1, eps2)
+	case "bprim":
+		return bpmst.BPRIM(net, eps)
+	case "brbc":
+		return bpmst.BRBC(net, eps)
+	case "ahhk":
+		return bpmst.AHHK(net, eps) // eps reused as the c parameter
+	case "bkh2":
+		return bpmst.BKH2(net, eps)
+	case "bkex":
+		return bpmst.BKEX(net, eps, depth)
+	case "bmstg":
+		return bpmst.BMSTG(net, eps, bpmst.GabowOptions{})
+	case "elmore":
+		return bpmst.BKRUSElmore(net, eps, bpmst.DefaultRCModel())
+	case "bkh2elmore":
+		return bpmst.BKH2Elmore(net, eps, bpmst.DefaultRCModel())
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bmstree:", err)
+	os.Exit(1)
+}
+
+// dumpInstance writes the instance in the bench text format.
+func dumpInstance(path string, in *inst.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.WriteInstance(f, in)
+}
+
+// writeTreeSVG renders a spanning tree to an SVG file.
+func writeTreeSVG(path string, tree *bpmst.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tree.WriteSVG(f)
+}
+
+// writeSteinerSVG renders a Steiner tree to an SVG file.
+func writeSteinerSVG(path string, st *bpmst.SteinerTree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return st.WriteSVG(f)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	bpmst "repro"
+)
+
+func TestLoadInstanceSelectors(t *testing.T) {
+	if _, err := loadInstance("", "", 0, 1); err == nil {
+		t.Error("no selector accepted")
+	}
+	if _, err := loadInstance("", "nope", 0, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	in, err := loadInstance("", "p1", 0, 1)
+	if err != nil || in.NumSinks() != 5 {
+		t.Errorf("p1 load failed: %v %v", in, err)
+	}
+	in, err = loadInstance("", "", 7, 42)
+	if err != nil || in.NumSinks() != 7 {
+		t.Errorf("random load failed: %v", err)
+	}
+}
+
+func TestLoadInstanceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	content := "metric manhattan\nsource 0 0\nsink 3 4\nsink 1 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadInstance(path, "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumSinks() != 2 {
+		t.Errorf("sinks = %d", in.NumSinks())
+	}
+	if _, err := loadInstance(filepath.Join(dir, "missing.txt"), "", 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildTreeAlgorithms(t *testing.T) {
+	in, err := loadInstance("", "", 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []string{"mst", "spt", "maxst", "bkrus", "bkruslu", "bprim", "brbc",
+		"bkh2", "bkex", "bmstg", "elmore", "bkh2elmore", "ahhk"}
+	for _, a := range algos {
+		tr, err := buildTree(net, a, 0.3, 0, 0.3, 2)
+		if err != nil {
+			t.Errorf("%s: %v", a, err)
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid tree: %v", a, err)
+		}
+	}
+	if _, err := buildTree(net, "bogus", 0.3, 0, 0.3, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestWriteTreeSVGFile(t *testing.T) {
+	in, err := loadInstance("", "", 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := buildTree(net, "bkrus", 0.2, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := writeTreeSVG(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Errorf("svg not written: %v", err)
+	}
+}
+
+func TestDumpInstanceRoundtrip(t *testing.T) {
+	in, err := loadInstance("", "p2", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dump.txt")
+	if err := dumpInstance(path, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadInstance(path, "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != in.N() {
+		t.Errorf("roundtrip terminals %d vs %d", back.N(), in.N())
+	}
+}

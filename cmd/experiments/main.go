@@ -1,0 +1,64 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments [-quick] [-cases N] [-xbudget N] [-gbudget N] [-run ID]...
+//
+// Each -run selects one experiment: 1-5 for Tables 1-5, f1/f9/f10/f11/
+// f12/f13 for the figures, depth for the BKEX depth study, lemmas for
+// the Lemma 4.1-4.3 ablation, elmore for the §3.2 delay study, or all
+// (default). -quick shrinks grids and case counts so the full suite
+// finishes in seconds; without it the paper's full grids run, which
+// takes hours on the largest benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "reduced grids and case counts (seconds instead of hours)")
+		cases   = flag.Int("cases", 0, "random cases per configuration (0 = 50, or 10 with -quick)")
+		xbudget = flag.Int("xbudget", 0, "exchange expansion budget for BKH2/BKEX on large nets (0 = default)")
+		gbudget = flag.Int("gbudget", 0, "spanning tree budget for the exact enumeration (0 = default)")
+		csv     = flag.Bool("csv", false, "render tables as CSV for downstream plotting")
+	)
+	var runs multiFlag
+	flag.Var(&runs, "run", "experiment id: 1-5, f1, f9-f13, depth, lemmas, elmore, all (repeatable)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Out:            os.Stdout,
+		Quick:          *quick,
+		Cases:          *cases,
+		ExchangeBudget: *xbudget,
+		GabowBudget:    *gbudget,
+		CSV:            *csv,
+	}
+	if len(runs) == 0 {
+		runs = []string{"all"}
+	}
+	for _, id := range runs {
+		if err := experiments.Run(id, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

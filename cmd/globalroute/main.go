@@ -1,0 +1,134 @@
+// Command globalroute routes a whole netlist under one or more policies
+// and reports aggregate wirelength, path ratios, and gcell congestion —
+// the system-level view the paper's introduction motivates.
+//
+// Usage:
+//
+//	globalroute -in design.nl [-eps 0.2] [-grid 16] [-capacity 8]
+//	globalroute -demo 100 -seed 3
+//
+// The netlist format is one block per net:
+//
+//	net clk0
+//	source 10 10
+//	sink 40 10
+//	sink 10 55
+//	end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/router"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		inFile   = flag.String("in", "", "netlist file")
+		demo     = flag.Int("demo", 0, "generate a synthetic demo design with this many nets")
+		seed     = flag.Int64("seed", 1, "seed for -demo")
+		eps      = flag.Float64("eps", 0.2, "path length slack for the bounded policy")
+		grid     = flag.Int("grid", 16, "gcell grid dimension for congestion")
+		capacity = flag.Int("capacity", 0, "gcell capacity for overflow accounting (0 = skip)")
+		workers  = flag.Int("workers", 0, "route nets concurrently with this many workers (0 = NumCPU)")
+		heatmap  = flag.String("heatmap", "", "write an SVG congestion heatmap of the bounded policy to this file")
+	)
+	flag.Parse()
+
+	nl, err := loadNetlist(*inFile, *demo, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	policies := []router.Policy{
+		router.SPTPolicy(),
+		router.BKRUSPolicy(*eps),
+		router.AHHKPolicy(0.5),
+		router.MSTPolicy(),
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\ttotal wire\tworst path/R\tmean path/R\tpeak gcell\toverflow")
+	for _, p := range policies {
+		res, err := router.RouteParallel(nl, p, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		cm, err := router.NewCongestionMap(nl, res, *grid, *grid)
+		if err != nil {
+			fatal(err)
+		}
+		overflow := "-"
+		if *capacity > 0 {
+			overflow = fmt.Sprintf("%d", cm.Overflow(*capacity))
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.3f\t%.3f\t%d\t%s\n",
+			res.Policy, res.TotalCost, res.WorstPathRatio, res.MeanPathRatio,
+			cm.MaxDemand(), overflow)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	if *heatmap != "" {
+		res, err := router.RouteParallel(nl, router.BKRUSPolicy(*eps), *workers)
+		if err != nil {
+			fatal(err)
+		}
+		cm, err := router.NewCongestionMap(nl, res, *grid, *grid)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*heatmap)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := viz.Heatmap(f, cm, *grid, *grid, viz.DefaultStyle()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("congestion heatmap written to %s\n", *heatmap)
+	}
+}
+
+func loadNetlist(file string, demo int, seed int64) (*router.Netlist, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return router.ReadNetlist(f)
+	}
+	if demo <= 0 {
+		return nil, fmt.Errorf("specify -in or -demo")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nl := &router.Netlist{}
+	for i := 0; i < demo; i++ {
+		fanout := 2 + rng.Intn(5)
+		ox, oy := rng.Float64()*1000, rng.Float64()*1000
+		spread := 50 + rng.Float64()*200
+		sinks := make([]geom.Point, fanout)
+		for j := range sinks {
+			sinks[j] = geom.Point{X: ox + rng.Float64()*spread, Y: oy + rng.Float64()*spread}
+		}
+		src := geom.Point{X: ox + rng.Float64()*spread, Y: oy + rng.Float64()*spread}
+		in, err := inst.New(src, sinks, geom.Manhattan)
+		if err != nil {
+			return nil, err
+		}
+		nl.Add(fmt.Sprintf("net%d", i), in)
+	}
+	return nl, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "globalroute:", err)
+	os.Exit(1)
+}

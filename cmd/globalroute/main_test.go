@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadNetlistSelectors(t *testing.T) {
+	if _, err := loadNetlist("", 0, 1); err == nil {
+		t.Error("no selector accepted")
+	}
+	nl, err := loadNetlist("", 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Nets) != 12 {
+		t.Errorf("demo nets = %d", len(nl.Nets))
+	}
+	// deterministic per seed
+	again, err := loadNetlist("", 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Nets[5].In.Source() != again.Nets[5].In.Source() {
+		t.Error("demo generation not deterministic")
+	}
+}
+
+func TestLoadNetlistFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.nl")
+	content := "net a\nsource 0 0\nsink 5 5\nend\nnet b\nsource 10 10\nsink 12 10\nsink 10 15\nend\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := loadNetlist(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Nets) != 2 || nl.Nets[1].Name != "b" {
+		t.Errorf("netlist parse wrong: %+v", nl.Nets)
+	}
+	if _, err := loadNetlist(filepath.Join(dir, "missing"), 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,45 @@
+// Package bpmst constructs minimal spanning and Steiner routing trees
+// with bounded source-sink path lengths, reproducing Oh, Pyo and Pedram,
+// "Constructing Minimal Spanning/Steiner Trees with Bounded Path Length"
+// (ED&TC/DATE 1996).
+//
+// In performance-driven VLSI routing, the shortest path tree (SPT)
+// minimizes the critical source-sink delay but wastes wirelength (area
+// and power), while the minimal spanning tree (MST) minimizes wirelength
+// but can contain very long source-sink paths. This package trades
+// between the two: given a non-negative parameter ε, every constructor
+// returns a tree whose longest source-sink path is at most (1+ε)·R,
+// where R is the direct distance from the source to its farthest sink,
+// at close to minimal wirelength.
+//
+// # Algorithms
+//
+//   - BKRUS — the paper's bounded Kruskal heuristic, O(V³): the
+//     workhorse. Within ~3% of the optimal bounded tree on average
+//     (see EXPERIMENTS.md for the worst-case spread).
+//   - BKH2 — BKRUS followed by depth-2 negative-sum-exchanges: a deeper
+//     local optimum at O(E²V³).
+//   - BKEX — negative-sum-exchange search to (empirical) optimality.
+//   - BMSTG — exact optimum via Gabow-style spanning tree enumeration in
+//     nondecreasing cost order; exponential space, for small nets.
+//   - BPRIM, BRBC — the Cong-Kahng-Robins baselines the paper compares
+//     against.
+//   - BKRUSLU — both lower and upper path length bounds (clock routing,
+//     double-clocking avoidance).
+//   - BKRUSElmore — BKRUS under the Elmore RC delay model instead of
+//     wirelength.
+//   - BKST — bounded path length rectilinear Steiner tree on the Hanan
+//     grid; typically 5-30% cheaper than any spanning construction.
+//   - MST, SPT, MaxST — the classical reference trees.
+//
+// # Quick start
+//
+//	net, err := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+//	if err != nil { ... }
+//	tree, err := bpmst.BKRUS(net, 0.2) // paths within 1.2x of direct
+//	if err != nil { ... }
+//	fmt.Println(tree.Cost(), tree.Radius(), net.Bound(0.2))
+//
+// See examples/ for runnable scenarios and cmd/experiments for the
+// harness that regenerates every table and figure of the paper.
+package bpmst

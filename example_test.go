@@ -1,0 +1,93 @@
+package bpmst_test
+
+import (
+	"fmt"
+
+	bpmst "repro"
+)
+
+// Construct a bounded path length spanning tree and inspect its quality.
+func ExampleBKRUS() {
+	sinks := []bpmst.Point{{X: 8, Y: 0}, {X: 7, Y: 4}, {X: 0, Y: 6}}
+	net, err := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	if err != nil {
+		panic(err)
+	}
+	tree, err := bpmst.BKRUS(net, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.0f, longest path %.0f, bound %.2f\n",
+		tree.Cost(), tree.Radius(), net.Bound(0.25))
+	// Output: cost 19, longest path 13, bound 13.75
+}
+
+// The eps parameter trades the longest path against total wirelength.
+func ExampleBKRUS_tradeoff() {
+	sinks := []bpmst.Point{{X: 8, Y: 0}, {X: 7, Y: 4}, {X: 0, Y: 6}}
+	net, _ := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	for _, eps := range []float64{0, 0.25} {
+		tree, _ := bpmst.BKRUS(net, eps)
+		fmt.Printf("eps=%.2f cost=%.0f radius=%.0f\n", eps, tree.Cost(), tree.Radius())
+	}
+	// Output:
+	// eps=0.00 cost=25 radius=11
+	// eps=0.25 cost=19 radius=13
+}
+
+// Steiner routing on the Hanan grid shares trunks between sinks and can
+// beat even the unbounded MST.
+func ExampleBKST() {
+	sinks := []bpmst.Point{{X: 2, Y: 0}, {X: 1, Y: 2}, {X: 1, Y: -2}}
+	net, _ := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	st, err := bpmst.BKST(net, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Steiner cost %.0f vs MST %.0f\n", st.Cost(), net.MST().Cost())
+	// Output: Steiner cost 6 vs MST 8
+}
+
+// Lower and upper bounds together control clock skew.
+func ExampleBKRUSLU() {
+	// four sinks on the Manhattan circle of radius 10
+	sinks := []bpmst.Point{{X: 10, Y: 0}, {X: 7, Y: 3}, {X: 4, Y: 6}, {X: 0, Y: 10}}
+	net, _ := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	tree, err := bpmst.BKRUSLU(net, 1.0, 0.0) // window [R, R]: exact zero skew
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("skew %.1f\n", tree.Skew())
+	// Output: skew 1.0
+}
+
+// Buffer insertion cuts the worst Elmore delay of a long net.
+func ExampleInsertBuffers() {
+	sinks := []bpmst.Point{{X: 100, Y: 0}, {X: 200, Y: 0}, {X: 300, Y: 0}}
+	net, _ := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	m := bpmst.RCModel{RUnit: 1, CUnit: 0.5, RDriver: 5, CDriver: 1}
+	tree := net.MST()
+	buffered, err := bpmst.InsertBuffers(tree, m, bpmst.BufferSpec{RDrive: 0.5, CIn: 0.2, Delay: 10}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("buffers placed: %d, delay improved: %v\n",
+		buffered.NumBuffers(), buffered.WorstDelay() < bpmst.ElmoreRadius(tree, m))
+	// Output: buffers placed: 2, delay improved: true
+}
+
+// Wire sizing widens resistive trunks to cut delay at an area cost.
+func ExampleSizeWires() {
+	sinks := []bpmst.Point{{X: 100, Y: 0}, {X: 200, Y: 0}}
+	net, _ := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	m := bpmst.RCModel{RUnit: 1, CUnit: 0.01, RDriver: 0.1, CDriver: 0,
+		Load: []float64{0, 0, 30}}
+	tree := net.MST()
+	sized, err := bpmst.SizeWires(tree, m, []float64{1, 2, 4}, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("area grew: %v, delay improved: %v\n",
+		sized.WireArea() > tree.Cost(), sized.WorstDelay() < bpmst.ElmoreRadius(tree, m))
+	// Output: area grew: true, delay improved: true
+}

@@ -1,0 +1,77 @@
+// Delay-driven routing under the Elmore RC model (paper §3.2).
+//
+// Wirelength is only a proxy for delay: a long wire near the source
+// loads the driver and slows EVERY sink. BKRUSElmore replaces path
+// length with Elmore delay during construction — the bound applies to
+// the worst source-sink delay, relative to R, the worst delay of the
+// direct-star SPT.
+//
+//	go run ./examples/elmore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	bpmst "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	sinks := make([]bpmst.Point, 16)
+	loads := make([]float64, 17) // per terminal, index 0 = source
+	for i := range sinks {
+		sinks[i] = bpmst.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+		loads[i+1] = 0.5 + rng.Float64() // gate input caps differ per sink
+	}
+	net, err := bpmst.NewNet(bpmst.Point{X: 250, Y: 250}, sinks, bpmst.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := bpmst.RCModel{
+		RUnit:   0.08, // ohm per um
+		CUnit:   0.2,  // fF per um
+		RDriver: 2.0,  // strong clock driver
+		CDriver: 4.0,
+		Load:    loads,
+	}
+	starR := bpmst.ElmoreStarR(net, m)
+	mst := net.MST()
+	fmt.Printf("net: %d sinks, Elmore R (star SPT) = %.0f\n", net.NumSinks(), starR)
+	fmt.Printf("MST: cost %.0f, worst Elmore delay %.0f (%.2fx R)\n\n",
+		mst.Cost(), bpmst.ElmoreRadius(mst, m), bpmst.ElmoreRadius(mst, m)/starR)
+	fmt.Printf("%-6s %-10s %-14s %s\n", "eps", "cost", "worst delay", "delay bound")
+
+	for _, eps := range []float64{0.0, 0.1, 0.2, 0.5, 1.0} {
+		tree, err := bpmst.BKRUSElmore(net, eps, m)
+		if err != nil {
+			fmt.Printf("%-6.2f %s\n", eps, err)
+			continue
+		}
+		fmt.Printf("%-6.2f %-10.0f %-14.0f %.0f\n",
+			eps, tree.Cost(), bpmst.ElmoreRadius(tree, m), (1+eps)*starR)
+	}
+
+	// Per-sink delays of the eps=0.2 tree: none exceeds the bound.
+	tree, err := bpmst.BKRUSElmore(net, 0.2, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-sink Elmore delays at eps=0.2:")
+	delays := bpmst.ElmoreDelays(tree, m)
+	for v := 1; v < len(delays); v++ {
+		fmt.Printf("  sink %2d: %7.0f\n", v, delays[v])
+	}
+
+	// Buffer insertion (§8 future work): repeaters decouple downstream
+	// capacitance and re-drive it, cutting the worst delay further.
+	buf := bpmst.BufferSpec{RDrive: 0.5, CIn: 0.8, Delay: 40}
+	buffered, err := bpmst.InsertBuffers(tree, m, buf, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith up to 4 repeaters: worst delay %.0f -> %.0f (%d buffers at terminals %v)\n",
+		bpmst.ElmoreRadius(tree, m), buffered.WorstDelay(),
+		buffered.NumBuffers(), buffered.BufferTerminals())
+}

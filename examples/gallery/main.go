@@ -1,0 +1,103 @@
+// Gallery: render the paper's special benchmark trees and a congestion
+// heatmap as SVG files, to eyeball what the constructions actually do.
+//
+//	go run ./examples/gallery -out /tmp/gallery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/router"
+	"repro/internal/viz"
+
+	bpmst "repro"
+)
+
+func main() {
+	out := flag.String("out", "gallery", "output directory for the SVG files")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// p1-p4 under tight and loose bounds: the pathologies made visible.
+	for _, name := range []string{"p1", "p2", "p3", "p4"} {
+		in, _ := bench.ByName(name)
+		net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, eps := range []float64{0.0, 0.5} {
+			tree, err := bpmst.BKRUS(net, eps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*out, fmt.Sprintf("%s_eps%.1f.svg", name, eps))
+			if err := writeSVG(path, tree.WriteSVG); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22s cost %7.1f  radius %6.1f\n", filepath.Base(path), tree.Cost(), tree.Radius())
+		}
+	}
+
+	// a Steiner tree over its Hanan grid
+	in, _ := bench.ByName("p4")
+	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := bpmst.BKST(net, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeSVG(filepath.Join(*out, "p4_steiner.svg"), st.WriteSVG); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s cost %7.1f  (spanning at same eps: ", "p4_steiner.svg", st.Cost())
+	span, _ := bpmst.BKRUS(net, 0.3)
+	fmt.Printf("%.1f)\n", span.Cost())
+
+	// congestion heatmap of a routed demo design
+	nl := demoDesign()
+	res, err := router.Route(nl, router.BKRUSPolicy(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := router.NewCongestionMap(nl, res, 12, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(*out, "congestion.svg"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := viz.Heatmap(f, cm, 12, 12, viz.DefaultStyle()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s peak gcell demand %d\n", "congestion.svg", cm.MaxDemand())
+}
+
+func writeSVG(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
+}
+
+func demoDesign() *router.Netlist {
+	nl := &router.Netlist{}
+	for i := 0; i < 40; i++ {
+		in := bench.Random(int64(i+500), 5, 120)
+		nl.Add(fmt.Sprintf("net%d", i), in)
+	}
+	return nl
+}

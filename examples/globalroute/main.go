@@ -1,0 +1,110 @@
+// Global routing of a whole design: route many nets under a shared
+// performance constraint and account the totals — the scenario the
+// paper's introduction motivates, where critical path delay depends on
+// the longest interconnection path of every net while power tracks the
+// total wirelength.
+//
+//	go run ./examples/globalroute
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	bpmst "repro"
+)
+
+// net is one signal net of the synthetic design.
+type design struct {
+	nets []*bpmst.Net
+}
+
+// synthesize builds a design of numNets nets with realistic fanout
+// distribution: most nets are small, a few are large (clock-like).
+func synthesize(numNets int, seed int64) design {
+	rng := rand.New(rand.NewSource(seed))
+	var d design
+	for i := 0; i < numNets; i++ {
+		fanout := 2 + rng.Intn(4)
+		if rng.Intn(10) == 0 {
+			fanout = 10 + rng.Intn(20) // occasional high-fanout net
+		}
+		// each net lives in a local region of the chip
+		ox, oy := rng.Float64()*2000, rng.Float64()*2000
+		spread := 100 + rng.Float64()*300
+		sinks := make([]bpmst.Point, fanout)
+		for j := range sinks {
+			sinks[j] = bpmst.Point{X: ox + rng.Float64()*spread, Y: oy + rng.Float64()*spread}
+		}
+		src := bpmst.Point{X: ox + rng.Float64()*spread, Y: oy + rng.Float64()*spread}
+		n, err := bpmst.NewNet(src, sinks, bpmst.Manhattan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.nets = append(d.nets, n)
+	}
+	return d
+}
+
+func main() {
+	d := synthesize(200, 1)
+	fmt.Printf("design: %d nets\n\n", len(d.nets))
+	fmt.Printf("%-10s %-14s %-16s %-14s\n", "policy", "total wire", "worst path/R", "vs MST wire")
+
+	type policy struct {
+		name  string
+		route func(n *bpmst.Net) (*bpmst.Tree, error)
+	}
+	policies := []policy{
+		{"SPT", func(n *bpmst.Net) (*bpmst.Tree, error) { return n.SPT(), nil }},
+		{"eps=0.1", func(n *bpmst.Net) (*bpmst.Tree, error) { return bpmst.BKRUS(n, 0.1) }},
+		{"eps=0.25", func(n *bpmst.Net) (*bpmst.Tree, error) { return bpmst.BKRUS(n, 0.25) }},
+		{"eps=0.5", func(n *bpmst.Net) (*bpmst.Tree, error) { return bpmst.BKRUS(n, 0.5) }},
+		{"MST", func(n *bpmst.Net) (*bpmst.Tree, error) { return n.MST(), nil }},
+	}
+
+	var mstWire float64
+	for _, n := range d.nets {
+		mstWire += n.MST().Cost()
+	}
+
+	for _, p := range policies {
+		var wire, worstRatio float64
+		for _, n := range d.nets {
+			tree, err := p.route(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			wire += tree.Cost()
+			if r := tree.PathRatio(); r > worstRatio {
+				worstRatio = r
+			}
+		}
+		fmt.Printf("%-10s %-14.0f %-16.3f %+.1f%%\n",
+			p.name, wire, worstRatio, 100*(wire/mstWire-1))
+	}
+
+	// Critical nets deserve the expensive treatment: route the ten nets
+	// with the largest R delay-driven, everything else at eps=0.5.
+	nets := append([]*bpmst.Net(nil), d.nets...)
+	sort.Slice(nets, func(i, j int) bool { return nets[i].R() > nets[j].R() })
+	m := bpmst.DefaultRCModel()
+	var wire float64
+	for i, n := range nets {
+		var tree *bpmst.Tree
+		var err error
+		if i < 10 {
+			tree, err = bpmst.BKRUSElmore(n, 0.1, m)
+		} else {
+			tree, err = bpmst.BKRUS(n, 0.5)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		wire += tree.Cost()
+	}
+	fmt.Printf("\nmixed policy (10 critical nets delay-driven at eps=0.1, rest eps=0.5):\n")
+	fmt.Printf("total wire %.0f (%+.1f%% over MST)\n", wire, 100*(wire/mstWire-1))
+}

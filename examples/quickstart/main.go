@@ -1,0 +1,51 @@
+// Quickstart: construct a bounded path length routing tree for a small
+// net and compare it against the two classical extremes (MST and SPT).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bpmst "repro"
+)
+
+func main() {
+	// A driver at the origin and eight sinks of a small block.
+	sinks := []bpmst.Point{
+		{X: 12, Y: 3}, {X: 14, Y: 8}, {X: 9, Y: 11}, {X: 4, Y: 13},
+		{X: 2, Y: 7}, {X: 7, Y: 2}, {X: 13, Y: 13}, {X: 5, Y: 5},
+	}
+	net, err := bpmst.NewNet(bpmst.Point{X: 0, Y: 0}, sinks, bpmst.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("net: %d sinks, R = %g (farthest direct distance)\n\n", net.NumSinks(), net.R())
+
+	mst := net.MST()
+	spt := net.SPT()
+	fmt.Printf("%-22s cost %7.2f   longest path %7.2f\n", "MST (min wirelength):", mst.Cost(), mst.Radius())
+	fmt.Printf("%-22s cost %7.2f   longest path %7.2f\n\n", "SPT (min delay):", spt.Cost(), spt.Radius())
+
+	// Sweep the trade-off: every BKRUS tree keeps paths within (1+eps)*R.
+	for _, eps := range []float64{0.0, 0.1, 0.25, 0.5, 1.0} {
+		tree, err := bpmst.BKRUS(net, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("BKRUS eps=%-4.2f  cost %7.2f (%.0f%% over MST)   longest path %7.2f <= bound %7.2f\n",
+			eps, tree.Cost(), 100*(tree.PerfRatio(mst)-1), tree.Radius(), net.Bound(eps))
+	}
+
+	// The tree itself: terminal-index edges (0 is the source).
+	tree, err := bpmst.BKRUS(net, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBKRUS eps=0.25 edges:")
+	for _, e := range tree.Edges() {
+		fmt.Printf("  %2d -- %-2d  length %.1f\n", e.U, e.V, e.W)
+	}
+}

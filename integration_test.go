@@ -1,0 +1,115 @@
+package bpmst_test
+
+// End-to-end integration: build a net, run every construction, verify
+// the cross-algorithm relations the paper establishes, and render the
+// results — the full pipeline a downstream user exercises.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	bpmst "repro"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	sinks := make([]bpmst.Point, 12)
+	for i := range sinks {
+		sinks[i] = bpmst.Point{X: float64(rng.Intn(80)), Y: float64(rng.Intn(80))}
+	}
+	net, err := bpmst.NewNet(bpmst.Point{X: 40, Y: 40}, sinks, bpmst.Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.25
+	mst := net.MST()
+	spt := net.SPT()
+
+	// every bounded construction respects the bound and the cost chart
+	bkrus, err := bpmst.BKRUS(net, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkh2, err := bpmst.BKH2(net, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := bpmst.BKEX(net, eps, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := bpmst.BKST(net, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tr := range map[string]*bpmst.Tree{"bkrus": bkrus, "bkh2": bkh2, "bkex": opt} {
+		if !tr.WithinBound(eps) {
+			t.Errorf("%s violates the bound", name)
+		}
+		if tr.Cost() < mst.Cost()-1e-9 {
+			t.Errorf("%s cheaper than the MST", name)
+		}
+		if tr.Cost() > spt.Cost()+1e-9 {
+			t.Errorf("%s above the SPT cost on a centered net", name)
+		}
+	}
+	if !(opt.Cost() <= bkh2.Cost()+1e-9 && bkh2.Cost() <= bkrus.Cost()+1e-9) {
+		t.Errorf("cost chart broken: %v %v %v", opt.Cost(), bkh2.Cost(), bkrus.Cost())
+	}
+	if st.Radius() > net.Bound(eps)+1e-9 {
+		t.Error("Steiner tree violates the bound")
+	}
+	if st.Cost() > bkrus.Cost()+1e-9 {
+		t.Error("Steiner tree costlier than the spanning heuristic")
+	}
+
+	// delay pipeline: bound, improve, buffer, size
+	m := bpmst.RCModel{RUnit: 0.1, CUnit: 0.2, RDriver: 1, CDriver: 1}
+	dt, err := bpmst.BKRUSElmore(net, 0.5, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1.5 * bpmst.ElmoreStarR(net, m)
+	if bpmst.ElmoreRadius(dt, m) > bound+1e-9 {
+		t.Error("delay bound violated")
+	}
+	improved, err := bpmst.BKH2Elmore(net, 0.5, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Cost() > dt.Cost()+1e-9 {
+		t.Error("Elmore exchange search increased cost")
+	}
+	buffered, err := bpmst.InsertBuffers(dt, m, bpmst.BufferSpec{RDrive: 0.3, CIn: 0.5, Delay: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buffered.WorstDelay() > bpmst.ElmoreRadius(dt, m)+1e-9 {
+		t.Error("buffering hurt")
+	}
+	sized, err := bpmst.SizeWires(dt, m, []float64{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.WorstDelay() > bpmst.ElmoreRadius(dt, m)+1e-9 {
+		t.Error("sizing hurt")
+	}
+
+	// rendering round-trip
+	var svg bytes.Buffer
+	if err := bkrus.WriteSVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("tree SVG malformed")
+	}
+	svg.Reset()
+	if err := st.WriteSVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("steiner SVG malformed")
+	}
+}

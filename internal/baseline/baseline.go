@@ -1,0 +1,134 @@
+// Package baseline implements the two prior-art heuristics the paper
+// compares against, both from Cong, Kahng, Robins et al., "Provably Good
+// Performance-Driven Global Routing" (IEEE TCAD 1992):
+//
+//   - BPRIM, the bounded Prim construction: grow the tree from the source,
+//     always adding the cheapest edge whose new source-sink path respects
+//     the bound. Its worst-case performance ratio over the MST is
+//     unbounded (the paper's Figure 1 pathology).
+//   - BRBC, the bounded-radius bounded-cost construction: take a
+//     depth-first tour of the MST, insert a direct source shortcut every
+//     time the accumulated tour length reaches ε·R, and return the
+//     shortest path tree of the augmented graph. Radius ≤ (1+ε)·R and
+//     cost ≤ (1 + 2/ε)·cost(MST) are guaranteed.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/mst"
+)
+
+// BPRIM constructs a bounded path length spanning tree by the bounded
+// Prim rule. Every source-sink path is at most (1+eps)·R; the direct
+// source edge is always feasible, so the construction always completes
+// for eps ≥ 0.
+func BPRIM(in *inst.Instance, eps float64) (*graph.Tree, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("baseline: negative eps %g", eps)
+	}
+	dm := in.DistMatrix()
+	n := in.N()
+	bound := in.Bound(eps)
+	t := graph.NewTree(n)
+	if n <= 1 {
+		return t, nil
+	}
+	inTree := make([]bool, n)
+	pathLen := make([]float64, n) // source-path length, fixed at insertion
+	best := make([]float64, n)    // cheapest feasible connection cost
+	bestFrom := make([]int, n)
+	inTree[graph.Source] = true
+	for v := 0; v < n; v++ {
+		best[v] = math.Inf(1)
+		bestFrom[v] = -1
+	}
+	relax := func(u int) {
+		for v := 0; v < n; v++ {
+			if inTree[v] || v == u {
+				continue
+			}
+			w := dm.At(u, v)
+			if pathLen[u]+w <= bound && w < best[v] {
+				best[v] = w
+				bestFrom[v] = u
+			}
+		}
+	}
+	relax(graph.Source)
+	for k := 1; k < n; k++ {
+		v := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && bestFrom[j] != -1 && (v == -1 || best[j] < best[v]) {
+				v = j
+			}
+		}
+		if v == -1 {
+			// cannot happen for eps >= 0: the direct source edge is feasible
+			return nil, fmt.Errorf("baseline: BPRIM stuck with %d nodes attached", k)
+		}
+		u := bestFrom[v]
+		inTree[v] = true
+		pathLen[v] = pathLen[u] + best[v]
+		t.AddEdge(u, v, best[v])
+		relax(v)
+	}
+	return t, nil
+}
+
+// BRBC constructs the bounded-radius bounded-cost tree. eps = +Inf
+// returns the plain MST; eps = 0 degenerates to the shortest path tree.
+func BRBC(in *inst.Instance, eps float64) (*graph.Tree, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("baseline: negative eps %g", eps)
+	}
+	dm := in.DistMatrix()
+	n := in.N()
+	m := mst.Kruskal(dm)
+	if math.IsInf(eps, 1) || n <= 2 {
+		return m, nil
+	}
+	budget := eps * in.R()
+
+	// Depth-first tour of the MST from the source; every time the
+	// accumulated tour length reaches the budget at a vertex, record a
+	// direct source shortcut and reset the accumulator.
+	adj := m.Adjacency()
+	shortcut := make([]bool, n)
+	visited := make([]bool, n)
+	var sum float64
+	var dfs func(u int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, a := range adj[u] {
+			if visited[a.To] {
+				continue
+			}
+			sum += a.W
+			if sum >= budget && a.To != graph.Source {
+				shortcut[a.To] = true
+				sum = 0
+			}
+			dfs(a.To)
+			sum += a.W // backtracking leg of the tour
+			if sum >= budget {
+				sum = 0 // reset applies at u again; shortcut(u) already exists or u is behind us
+				if u != graph.Source {
+					shortcut[u] = true
+				}
+			}
+		}
+	}
+	dfs(graph.Source)
+
+	augmented := append([]graph.Edge(nil), m.Edges...)
+	for v := 1; v < n; v++ {
+		if shortcut[v] {
+			augmented = append(augmented, graph.Edge{U: graph.Source, V: v, W: dm.At(graph.Source, v)})
+		}
+	}
+	return mst.SPTEdges(n, augmented, graph.Source), nil
+}

@@ -1,0 +1,268 @@
+// Package bench provides the benchmark instances of the paper's §7:
+//
+//   - p1-p4: geometric reconstructions of the four special configurations
+//     (the exact coordinates were never published; these reproduce the
+//     described shapes and the R/r characteristics of Table 1);
+//   - the random benchmark sets (4): net sizes {5,8,10,12,15} with 50
+//     seeded cases each;
+//   - synthetic stand-ins for the MCNC Primary1/2 sink placements (pr1,
+//     pr2) and the Tsay zero-skew benchmarks (r1-r5), with matching sink
+//     counts and coordinate scales (the original placements are not
+//     redistributable; uniform placements preserve the cost-ratio trends
+//     the paper reports);
+//   - a text instance format for the command line tools.
+//
+// All generators are deterministic: the same name or seed always yields
+// the same instance.
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/inst"
+)
+
+// Named couples an instance with its benchmark name.
+type Named struct {
+	Name string
+	Desc string
+	In   *inst.Instance
+}
+
+// P1 reconstructs benchmark p1 (paper Figure 13): five sinks strung
+// along the Manhattan circle arc at radius 20.0-20.4 from the source,
+// spaced 1.9 apart along the arc — far wider than the 0.4 of radial
+// slack, so that at small ε every sink needs its own direct source
+// connection and cost(BKT)/cost(MST) degenerates toward N. R = 20.4,
+// r = 20.0 as in Table 1.
+func P1() *inst.Instance {
+	sinks := make([]geom.Point, 5)
+	for i := range sinks {
+		radius := 20.0 + 0.1*float64(i)
+		y := float64(i)
+		sinks[i] = geom.Point{X: radius - y, Y: y}
+	}
+	return inst.MustNew(geom.Point{}, sinks, geom.Manhattan)
+}
+
+// P2 is p1 with a larger far group plus one sink halfway between the
+// source and the group (8 points total, R = 20.4, r = 10.0).
+func P2() *inst.Instance {
+	var sinks []geom.Point
+	for i := 0; i < 6; i++ {
+		radius := 20.0 + 0.08*float64(i)
+		y := float64(i)
+		sinks = append(sinks, geom.Point{X: radius - y, Y: y})
+	}
+	sinks = append(sinks, geom.Point{X: 10, Y: 0})
+	return inst.MustNew(geom.Point{}, sinks, geom.Manhattan)
+}
+
+// P3 reconstructs the Figure 1 configuration: a chain of sixteen sinks
+// sweeping outward from radius 6.1 to radius 16.0 while swinging along
+// the arc, where bounded-Prim strands the far sinks on direct source
+// connections while BKRUS chains them (R = 16.0, r = 6.1).
+func P3() *inst.Instance {
+	sinks := make([]geom.Point, 16)
+	for i := range sinks {
+		radius := 6.1 + 9.9*float64(i)/15
+		y := 0.8 * float64(i)
+		sinks[i] = geom.Point{X: radius - y, Y: y}
+	}
+	return inst.MustNew(geom.Point{}, sinks, geom.Manhattan)
+}
+
+// P4 reconstructs benchmark p4: thirty sinks scattered around a circle
+// about the source, Manhattan radii spread over [5.8, 10.4] (Table 1's
+// R = 10.4, r = 5.8).
+func P4() *inst.Instance {
+	rng := rand.New(rand.NewSource(4))
+	sinks := make([]geom.Point, 30)
+	for i := range sinks {
+		radius := 5.8 + 4.6*float64(i)/29
+		theta := 2 * math.Pi * float64(i) / 30 * (1 + 0.02*rng.Float64())
+		// point on the Manhattan circle of this radius in direction theta
+		c, s := math.Cos(theta), math.Sin(theta)
+		norm := math.Abs(c) + math.Abs(s)
+		sinks[i] = geom.Point{X: radius * c / norm, Y: radius * s / norm}
+	}
+	return inst.MustNew(geom.Point{}, sinks, geom.Manhattan)
+}
+
+// Random returns a seeded uniform instance with the given number of
+// sinks in a square of the given extent, source placed uniformly too —
+// the paper's benchmark set (4).
+func Random(seed int64, sinks int, extent float64) *inst.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, sinks)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	src := geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	return inst.MustNew(src, pts, geom.Manhattan)
+}
+
+// RandomSetSizes are the net sizes of the paper's random benchmark set.
+var RandomSetSizes = []int{5, 8, 10, 12, 15}
+
+// RandomCases is the number of random cases per net size in Table 4.
+const RandomCases = 50
+
+// RandomCase returns case k (0-based) of the size-`sinks` random set,
+// deterministic per (sinks, k).
+func RandomCase(sinks, k int) *inst.Instance {
+	return Random(int64(sinks)*1000+int64(k), sinks, 100)
+}
+
+// largeSpec describes a synthetic stand-in for an unpublished benchmark.
+type largeSpec struct {
+	name   string
+	desc   string
+	sinks  int
+	extent float64
+	seed   int64
+}
+
+// Extents are chosen so the stand-in's R (max Manhattan distance from
+// the central source ≈ extent) matches the paper's Table 1.
+var largeSpecs = []largeSpec{
+	{"pr1", "MCNC Primary1 stand-in (269 sinks)", 269, 550, 101},
+	{"pr2", "MCNC Primary2 stand-in (603 sinks)", 603, 1000, 102},
+	{"r1", "Tsay r1 stand-in (267 sinks)", 267, 59000, 201},
+	{"r2", "Tsay r2 stand-in (598 sinks)", 598, 87000, 202},
+	{"r3", "Tsay r3 stand-in (862 sinks)", 862, 86000, 203},
+	{"r4", "Tsay r4 stand-in (1903 sinks)", 1903, 125000, 204},
+	{"r5", "Tsay r5 stand-in (3101 sinks)", 3101, 139000, 205},
+}
+
+// Large returns the synthetic stand-in for one of the paper's large
+// benchmarks: pr1, pr2, r1, r2, r3, r4, r5. It reports false for an
+// unknown name.
+func Large(name string) (*inst.Instance, bool) {
+	for _, s := range largeSpecs {
+		if s.name == name {
+			return genLarge(s), true
+		}
+	}
+	return nil, false
+}
+
+func genLarge(s largeSpec) *inst.Instance {
+	rng := rand.New(rand.NewSource(s.seed))
+	pts := make([]geom.Point, s.sinks)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * s.extent, Y: rng.Float64() * s.extent}
+	}
+	// source near the center, as the authors added one to the originals
+	src := geom.Point{X: s.extent / 2, Y: s.extent / 2}
+	return inst.MustNew(src, pts, geom.Manhattan)
+}
+
+// LargeNames lists the large benchmark names in the paper's order.
+func LargeNames() []string {
+	names := make([]string, len(largeSpecs))
+	for i, s := range largeSpecs {
+		names[i] = s.name
+	}
+	return names
+}
+
+// ByName returns any named benchmark: p1-p4 and the large stand-ins.
+func ByName(name string) (*inst.Instance, bool) {
+	switch name {
+	case "p1":
+		return P1(), true
+	case "p2":
+		return P2(), true
+	case "p3":
+		return P3(), true
+	case "p4":
+		return P4(), true
+	}
+	return Large(name)
+}
+
+// All returns the full Table 1 benchmark catalog (p1-p4 and the large
+// stand-ins) in the paper's order.
+func All() []Named {
+	out := []Named{
+		{"p1", "far sink cluster (Fig. 13)", P1()},
+		{"p2", "far cluster + mid sink", P2()},
+		{"p3", "outward chain (Fig. 1)", P3()},
+		{"p4", "circle scatter", P4()},
+	}
+	for _, s := range largeSpecs {
+		out = append(out, Named{s.name, s.desc, genLarge(s)})
+	}
+	return out
+}
+
+// Clustered returns a seeded instance with sinks grouped into clusters —
+// the placement pattern of hierarchical designs, which stresses the
+// witness test far more than uniform scatter (whole clusters must stay
+// connectable to the source).
+func Clustered(seed int64, clusters, perCluster int, extent float64) *inst.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var sinks []geom.Point
+	for c := 0; c < clusters; c++ {
+		cx, cy := rng.Float64()*extent, rng.Float64()*extent
+		spread := extent / 20
+		for k := 0; k < perCluster; k++ {
+			sinks = append(sinks, geom.Point{
+				X: cx + (rng.Float64()-0.5)*spread,
+				Y: cy + (rng.Float64()-0.5)*spread,
+			})
+		}
+	}
+	return inst.MustNew(geom.Point{X: extent / 2, Y: extent / 2}, sinks, geom.Manhattan)
+}
+
+// Ring returns sinks evenly spread along the Manhattan circle (diamond)
+// of the given radius about the source — the zero-skew-friendly clock
+// region pattern where every sink sits at exactly distance radius.
+func Ring(sinks int, radius float64) *inst.Instance {
+	pts := make([]geom.Point, sinks)
+	for i := range pts {
+		// walk the diamond perimeter: four edges of length radius each
+		t := 4 * radius * float64(i) / float64(sinks)
+		var p geom.Point
+		switch {
+		case t < radius: // NE edge: (radius,0) -> (0,radius)
+			p = geom.Point{X: radius - t, Y: t}
+		case t < 2*radius: // NW edge
+			u := t - radius
+			p = geom.Point{X: -u, Y: radius - u}
+		case t < 3*radius: // SW edge
+			u := t - 2*radius
+			p = geom.Point{X: -(radius - u), Y: -u}
+		default: // SE edge
+			u := t - 3*radius
+			p = geom.Point{X: u, Y: -(radius - u)}
+		}
+		pts[i] = p
+	}
+	return inst.MustNew(geom.Point{}, pts, geom.Manhattan)
+}
+
+// GridPattern returns sinks on a regular cols x rows grid with the given
+// pitch, source at the grid center — the standard-cell row placement the
+// paper mentions when arguing Hanan grids stay small in practice.
+func GridPattern(cols, rows int, pitch float64) *inst.Instance {
+	var sinks []geom.Point
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sinks = append(sinks, geom.Point{X: float64(c) * pitch, Y: float64(r) * pitch})
+		}
+	}
+	src := geom.Point{X: float64(cols-1) * pitch / 2, Y: float64(rows-1) * pitch / 2}
+	// drop a sink that coincides with the source, if any
+	out := sinks[:0]
+	for _, p := range sinks {
+		if p != src {
+			out = append(out, p)
+		}
+	}
+	return inst.MustNew(src, out, geom.Manhattan)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance checks the instance parser never panics and that
+// anything it accepts round-trips through WriteInstance.
+func FuzzReadInstance(f *testing.F) {
+	f.Add("metric manhattan\nsource 0 0\nsink 1 2\n")
+	f.Add("metric euclidean\nsource -1.5 2e3\nsink 0 0\nsink 7 7\n")
+	f.Add("# comment\n\nsource 1 1\nsink 2 2\n")
+	f.Add("source 0 0\nsink nan nan\n")
+	f.Add("metric l1\nsource 0 0\nsink 1e308 -1e308\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		in, err := ReadInstance(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// accepted instances must be structurally sound and re-serializable
+		if in.N() < 2 {
+			t.Fatalf("accepted instance with %d terminals", in.N())
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v\noriginal: %q\nwritten: %q", err, input, buf.String())
+		}
+		if back.N() != in.N() || back.Metric() != in.Metric() {
+			t.Fatalf("round-trip changed shape")
+		}
+	})
+}

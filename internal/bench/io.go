@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/inst"
+)
+
+// WriteInstance serializes an instance in the repository's text format:
+//
+//	# comment lines start with '#'
+//	metric manhattan|euclidean
+//	source <x> <y>
+//	sink <x> <y>      (one line per sink)
+func WriteInstance(w io.Writer, in *inst.Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# bounded path length routing instance: %d sinks\n", in.NumSinks())
+	fmt.Fprintf(bw, "metric %s\n", strings.ToLower(in.Metric().String()))
+	s := in.Source()
+	fmt.Fprintf(bw, "source %g %g\n", s.X, s.Y)
+	for _, p := range in.Sinks() {
+		fmt.Fprintf(bw, "sink %g %g\n", p.X, p.Y)
+	}
+	return bw.Flush()
+}
+
+// ReadInstance parses the text format written by WriteInstance.
+func ReadInstance(r io.Reader) (*inst.Instance, error) {
+	var (
+		metric    = geom.Manhattan
+		source    geom.Point
+		hasSource bool
+		sinks     []geom.Point
+	)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "metric":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("bench: line %d: metric needs one argument", lineNo)
+			}
+			switch fields[1] {
+			case "manhattan", "l1":
+				metric = geom.Manhattan
+			case "euclidean", "l2":
+				metric = geom.Euclidean
+			default:
+				return nil, fmt.Errorf("bench: line %d: unknown metric %q", lineNo, fields[1])
+			}
+		case "source", "sink":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bench: line %d: %s needs x y", lineNo, fields[0])
+			}
+			x, errX := strconv.ParseFloat(fields[1], 64)
+			y, errY := strconv.ParseFloat(fields[2], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("bench: line %d: bad coordinates", lineNo)
+			}
+			if fields[0] == "source" {
+				if hasSource {
+					return nil, fmt.Errorf("bench: line %d: duplicate source", lineNo)
+				}
+				source = geom.Point{X: x, Y: y}
+				hasSource = true
+			} else {
+				sinks = append(sinks, geom.Point{X: x, Y: y})
+			}
+		default:
+			return nil, fmt.Errorf("bench: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !hasSource {
+		return nil, fmt.Errorf("bench: no source line")
+	}
+	return inst.New(source, sinks, metric)
+}

@@ -1,0 +1,328 @@
+// Package core implements the paper's primary contribution: the Bounded
+// path length KRUSkal construction (BKRUS, §3.1) and its lower+upper
+// bounded variant (§6).
+//
+// BKRUS scans the complete-graph edges in nondecreasing weight order, as
+// Kruskal does, merging two partial trees t_u and t_v by edge (u,v) only
+// when the merged tree can still satisfy the path-length bound
+// (1+ε)·R from the source to every sink:
+//
+//   - (3-a) if t_u contains the source:  path(S,u) + dist(u,v) + radius(v) ≤ bound
+//     (symmetrically when t_v contains the source);
+//   - (3-b) if neither contains the source: some node x of the merged tree
+//     must satisfy dist(S,x) + radius_M(x) ≤ bound, so a direct source
+//     connection through x can always finish the tree.
+//
+// The engine maintains the paper's bookkeeping: P[x][y], the in-forest
+// path length between every pair of nodes in the same partial tree, and
+// r[x], the radius of x within its partial tree. A merge writes each
+// cross-pair entry exactly once, so all merges together cost O(V²);
+// feasibility scans dominate at O(EV).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/inst"
+)
+
+// ErrInfeasible is returned when no spanning tree can satisfy the
+// requested bounds. With only an upper bound (ε ≥ 0) BKRUS always
+// succeeds (the source star is feasible); a lower bound can make the
+// instance genuinely infeasible for node-branching spanning trees, as the
+// paper notes in §6.
+var ErrInfeasible = errors.New("core: no bounded spanning tree exists for the requested bounds")
+
+// Bounds is an absolute path-length window applied to every source-sink
+// path. Lower = 0 disables the lower bound; Upper = +Inf disables the
+// upper bound (plain Kruskal MST).
+type Bounds struct {
+	Lower, Upper float64
+}
+
+// UpperOnly returns the standard BMST bounds (1+eps)·R for the instance.
+func UpperOnly(in *inst.Instance, eps float64) Bounds {
+	return Bounds{Lower: 0, Upper: in.Bound(eps)}
+}
+
+// LowerUpper returns the §6 clock-routing bounds: every source-sink path
+// in [eps1·R, (1+eps2)·R].
+func LowerUpper(in *inst.Instance, eps1, eps2 float64) Bounds {
+	return Bounds{Lower: eps1 * in.R(), Upper: in.Bound(eps2)}
+}
+
+// Validate checks the window is well formed.
+func (b Bounds) Validate() error {
+	if b.Lower < 0 || math.IsNaN(b.Lower) || math.IsNaN(b.Upper) {
+		return fmt.Errorf("core: malformed bounds %+v", b)
+	}
+	if b.Lower > b.Upper {
+		return fmt.Errorf("core: empty bound window [%g, %g]", b.Lower, b.Upper)
+	}
+	return nil
+}
+
+// relTol is the relative tolerance applied to bound comparisons. Bounded
+// trees routinely sit exactly on the bound (at ε = 0 the farthest sink's
+// direct path equals R by definition), so accumulated floating-point
+// noise of a few ulps must not flip feasibility.
+const relTol = 1e-9
+
+// WithinUpper reports v ≤ Upper within relative tolerance.
+func (b Bounds) WithinUpper(v float64) bool {
+	return v <= b.Upper+relTol*math.Max(1, math.Abs(b.Upper))
+}
+
+// WithinLower reports v ≥ Lower within relative tolerance (always true
+// when no lower bound is set).
+func (b Bounds) WithinLower(v float64) bool {
+	if b.Lower <= 0 {
+		return true
+	}
+	return v >= b.Lower-relTol*math.Max(1, b.Lower)
+}
+
+// FeasibleTree reports whether every source-sink path length of t lies
+// within the bounds. Node 0 is the source; only sinks are constrained.
+func FeasibleTree(t *graph.Tree, b Bounds) bool {
+	d := t.PathLengthsFrom(graph.Source)
+	for v := 1; v < t.N; v++ {
+		if math.IsInf(d[v], 1) || !b.WithinUpper(d[v]) || !b.WithinLower(d[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BKRUS constructs a bounded path length spanning tree with every
+// source-sink path at most (1+eps)·R. eps must be ≥ 0 or +Inf.
+func BKRUS(in *inst.Instance, eps float64) (*graph.Tree, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative eps %g", eps)
+	}
+	return BKRUSBounds(in, UpperOnly(in, eps))
+}
+
+// BKRUSLU constructs a spanning tree with every source-sink path in
+// [eps1·R, (1+eps2)·R] (§6). Unlike the upper-bound-only case this can
+// fail with ErrInfeasible.
+func BKRUSLU(in *inst.Instance, eps1, eps2 float64) (*graph.Tree, error) {
+	if eps1 < 0 || eps2 < 0 {
+		return nil, fmt.Errorf("core: negative eps1/eps2 %g/%g", eps1, eps2)
+	}
+	return BKRUSBounds(in, LowerUpper(in, eps1, eps2))
+}
+
+// BKRUSBounds runs the bounded Kruskal construction for an arbitrary
+// absolute bound window.
+func BKRUSBounds(in *inst.Instance, b Bounds) (*graph.Tree, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(in, b)
+	return e.run()
+}
+
+// engine carries the BKRUS working state for one construction.
+type engine struct {
+	n     int
+	dm    graph.Weights
+	b     Bounds
+	p     []float64 // P[x][y] flattened: in-forest path lengths, 0 across trees
+	r     []float64 // radius of each node within its partial tree
+	ds    *graph.DisjointSet
+	stats *BuildStats // optional instrumentation (nil = off)
+	// byBase[rep] lists the members of the set named rep in ascending
+	// order of witnessBase = dist(S,x) + r[x] (lower-bound-ineligible
+	// members, base = +Inf, sort last). Since radius_M(x) >= r[x] for any
+	// tentative merge, a scan in this order can stop at the first member
+	// whose base exceeds Upper: no later member can witness condition
+	// (3-b) either.
+	byBase [][]int
+}
+
+func newEngine(in *inst.Instance, b Bounds) *engine {
+	n := in.N()
+	e := &engine{
+		n:      n,
+		dm:     in.DistMatrix(),
+		b:      b,
+		p:      make([]float64, n*n),
+		r:      make([]float64, n),
+		ds:     graph.NewDisjointSet(n),
+		byBase: make([][]int, n),
+	}
+	for x := 0; x < n; x++ {
+		e.byBase[x] = []int{x}
+	}
+	return e
+}
+
+// witnessBase returns dist(S,x) + r[x] when x is lower-bound-eligible,
+// +Inf otherwise.
+func (e *engine) witnessBase(x int) float64 {
+	dSx := e.dm.At(graph.Source, x)
+	if !e.b.WithinLower(dSx) {
+		return math.Inf(1)
+	}
+	return dSx + e.r[x]
+}
+
+func (e *engine) path(x, y int) float64 { return e.p[x*e.n+y] }
+
+// count applies an instrumentation update when stats are enabled.
+func (e *engine) count(f func(*BuildStats)) {
+	if e.stats != nil {
+		f(e.stats)
+	}
+}
+
+func (e *engine) run() (*graph.Tree, error) {
+	edges := graph.CompleteEdges(e.dm)
+	graph.SortEdges(edges)
+	t := graph.NewTree(e.n)
+	for _, ed := range edges {
+		if len(t.Edges) == e.n-1 {
+			break // early exit after V-1 unions
+		}
+		e.count(func(s *BuildStats) { s.EdgesExamined++ })
+		if e.ds.Same(ed.U, ed.V) {
+			e.count(func(s *BuildStats) { s.CycleRejections++ })
+			continue // condition (2): cycle edge
+		}
+		if (ed.U == graph.Source || ed.V == graph.Source) && !e.b.WithinLower(ed.W) {
+			e.count(func(s *BuildStats) { s.LemmaRejections++ })
+			continue // Lemma 6.1: a direct source edge below the lower bound
+		}
+		if !e.feasible(ed) {
+			e.count(func(s *BuildStats) { s.BoundRejections++ })
+			continue // condition (3); Lemma 3.1 says never reconsider
+		}
+		e.merge(ed)
+		e.ds.Union(ed.U, ed.V)
+		e.refreshByBase(ed.U)
+		t.Edges = append(t.Edges, ed)
+		e.count(func(s *BuildStats) { s.Merges++ })
+	}
+	if len(t.Edges) != e.n-1 {
+		return nil, ErrInfeasible
+	}
+	if !FeasibleTree(t, e.b) {
+		// Defensive: the feasibility tests guarantee this for upper-only
+		// bounds; a lower bound can still be violated by nodes that ended
+		// up closer than Lower through multi-hop paths.
+		return nil, ErrInfeasible
+	}
+	return t, nil
+}
+
+// feasible applies condition (3-a) or (3-b) to candidate edge ed.
+func (e *engine) feasible(ed graph.Edge) bool {
+	srcU := e.ds.Same(graph.Source, ed.U)
+	srcV := e.ds.Same(graph.Source, ed.V)
+	switch {
+	case srcU:
+		return e.sourceMergeOK(ed.U, ed.V, ed.W)
+	case srcV:
+		return e.sourceMergeOK(ed.V, ed.U, ed.W)
+	default:
+		return e.witnessExists(ed)
+	}
+}
+
+// sourceMergeOK checks condition (3-a): u lies in the source tree, v in a
+// source-free tree. All nodes of t_v acquire fixed source paths
+// path(S,u) + w + path(v,y); the farthest is bounded via radius(v), the
+// nearest is v itself.
+func (e *engine) sourceMergeOK(u, v int, w float64) bool {
+	base := e.path(graph.Source, u) + w
+	if !e.b.WithinUpper(base + e.r[v]) {
+		return false
+	}
+	// v itself is the nearest newly attached sink; it must clear the
+	// lower bound.
+	return e.b.WithinLower(base)
+}
+
+// witnessExists checks condition (3-b): neither tree holds the source, so
+// the merged tree needs a feasible node x with dist(S,x)+radius_M(x) ≤
+// Upper (and dist(S,x) ≥ Lower when a lower bound is active), where
+// radius_M is x's radius in the would-be merged tree, computable from the
+// stored P and r without performing the merge.
+func (e *engine) witnessExists(ed graph.Edge) bool {
+	u, v, w := ed.U, ed.V, ed.W
+	for _, x := range e.byBase[e.ds.Find(u)] {
+		e.count(func(s *BuildStats) { s.WitnessScans++ })
+		if !e.b.WithinUpper(e.witnessBase(x)) {
+			break // sorted by base: no later member can witness either
+		}
+		rM := math.Max(e.r[x], e.path(x, u)+w+e.r[v])
+		if e.witnessOK(x, rM) {
+			return true
+		}
+	}
+	for _, x := range e.byBase[e.ds.Find(v)] {
+		e.count(func(s *BuildStats) { s.WitnessScans++ })
+		if !e.b.WithinUpper(e.witnessBase(x)) {
+			break
+		}
+		rM := math.Max(e.r[x], e.path(x, v)+w+e.r[u])
+		if e.witnessOK(x, rM) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) witnessOK(x int, radiusM float64) bool {
+	dSx := e.dm.At(graph.Source, x)
+	return e.b.WithinUpper(dSx+radiusM) && e.b.WithinLower(dSx)
+}
+
+// merge performs the paper's Merge routine: fill in the cross-tree P
+// entries through the new edge and refresh the radii of both sides. Must
+// run before the disjoint-set union so the two member lists are still
+// separate.
+func (e *engine) merge(ed graph.Edge) {
+	u, v, w := ed.U, ed.V, ed.W
+	mu := e.ds.Members(u)
+	mv := e.ds.Members(v)
+	n := e.n
+	for _, x := range mu {
+		px := e.p[x*n+u] + w // path(x,u) + dist(u,v)
+		rowMax := e.r[x]
+		for _, y := range mv {
+			pxy := px + e.p[v*n+y]
+			e.p[x*n+y] = pxy
+			e.p[y*n+x] = pxy
+			if pxy > rowMax {
+				rowMax = pxy
+			}
+		}
+		e.r[x] = rowMax
+	}
+	for _, y := range mv {
+		colMax := e.r[y]
+		for _, x := range mu {
+			if pxy := e.p[x*n+y]; pxy > colMax {
+				colMax = pxy
+			}
+		}
+		e.r[y] = colMax
+	}
+}
+
+// refreshByBase re-sorts the merged set's members by witness base,
+// called after Union (radii changed during the merge).
+func (e *engine) refreshByBase(member int) {
+	rep := e.ds.Find(member)
+	members := append([]int(nil), e.ds.Members(rep)...)
+	sort.Slice(members, func(i, j int) bool {
+		return e.witnessBase(members[i]) < e.witnessBase(members[j])
+	})
+	e.byBase[rep] = members
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/inst"
+)
+
+// BuildStats describes one BKRUS construction run: how many candidate
+// edges were examined and why they were discarded. Useful for
+// diagnosing why a construction came out expensive (many bound
+// rejections force direct source edges) and for verifying the
+// complexity analysis empirically.
+type BuildStats struct {
+	EdgesExamined   int // candidate edges popped from the sorted list
+	CycleRejections int // condition (2): endpoints already connected
+	BoundRejections int // condition (3): merge would break the bound
+	LemmaRejections int // Lemma 6.1: direct source edge below the lower bound
+	Merges          int // accepted edges (always N-1 on success)
+	WitnessScans    int // nodes visited by (3-b) witness searches
+}
+
+// String summarizes the stats on one line.
+func (s BuildStats) String() string {
+	return fmt.Sprintf("examined %d: %d merges, %d cycle, %d bound, %d lemma rejections; %d witness scans",
+		s.EdgesExamined, s.Merges, s.CycleRejections, s.BoundRejections, s.LemmaRejections, s.WitnessScans)
+}
+
+// BKRUSWithStats is BKRUSBounds returning construction statistics
+// alongside the tree. On error the stats cover the work done before the
+// failure.
+func BKRUSWithStats(in *inst.Instance, b Bounds) (*graph.Tree, BuildStats, error) {
+	if err := b.Validate(); err != nil {
+		return nil, BuildStats{}, err
+	}
+	e := newEngine(in, b)
+	e.stats = &BuildStats{}
+	t, err := e.run()
+	return t, *e.stats, err
+}

@@ -1,0 +1,42 @@
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/exchange"
+	"repro/internal/graph"
+	"repro/internal/inst"
+)
+
+// ImproveElmore applies negative-sum-exchange search to a delay-bounded
+// tree: exchanges reduce wirelength while the Elmore worst delay stays
+// within (1+eps)·R. This extends the paper's §5 post-processing to the
+// §3.2 delay model — exchanges that save wire also unload the driver, so
+// they frequently reduce delay too. maxDepth caps the chained exchanges
+// (2 gives the BKH2-analogue); budget caps search work (0 = unlimited).
+func ImproveElmore(in *inst.Instance, start *graph.Tree, eps float64, m Model, maxDepth, budget int) (*graph.Tree, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("delay: negative eps %g", eps)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	bound := (1 + eps) * StarR(in, m)
+	res, err := exchange.ImproveFunc(in, start, func(t *graph.Tree) bool {
+		return withinBound(SourceRadius(t, m), bound)
+	}, exchange.Options{MaxDepth: maxDepth, MaxExpansions: budget})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tree, nil
+}
+
+// BKH2Elmore is the delay-model analogue of BKH2: BKRUSElmore followed by
+// depth-2 exchange search under the Elmore delay bound.
+func BKH2Elmore(in *inst.Instance, eps float64, m Model) (*graph.Tree, error) {
+	start, err := BKRUSElmore(in, eps, m)
+	if err != nil {
+		return nil, err
+	}
+	return ImproveElmore(in, start, eps, m, 2, 0)
+}

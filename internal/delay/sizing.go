@@ -1,0 +1,164 @@
+package delay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// SizedTree is a routing tree with a wire width assigned to every edge —
+// the paper's §8 "wire sizing" future-work item. A wire of width w has
+// resistance RUnit·l/w and capacitance CUnit·l·w: widening a wire near
+// the driver cuts the resistance seen by the whole subtree at the price
+// of more capacitive load.
+type SizedTree struct {
+	Tree   *graph.Tree
+	Model  Model
+	Widths []float64 // parallel to Tree.Edges; 1.0 = minimum width
+}
+
+// NewSizedTree wraps a tree with uniform minimum-width wires.
+func NewSizedTree(t *graph.Tree, m Model) (*SizedTree, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(t.Edges))
+	for i := range w {
+		w[i] = 1
+	}
+	return &SizedTree{Tree: t, Model: m, Widths: w}, nil
+}
+
+// Delays returns the source-to-node Elmore delays under the width
+// assignment (driver term included).
+func (st *SizedTree) Delays() []float64 {
+	t := st.Tree
+	m := st.Model
+	// adjacency carrying the edge index for width lookup
+	type adj struct {
+		to, edge int
+		l        float64
+	}
+	neighbors := make([][]adj, t.N)
+	for i, e := range t.Edges {
+		neighbors[e.U] = append(neighbors[e.U], adj{to: e.V, edge: i, l: e.W})
+		neighbors[e.V] = append(neighbors[e.V], adj{to: e.U, edge: i, l: e.W})
+	}
+	fa := make([]int, t.N)
+	faEdge := make([]int, t.N)
+	faLen := make([]float64, t.N)
+	order := make([]int, 0, t.N)
+	seen := make([]bool, t.N)
+	seen[graph.Source] = true
+	fa[graph.Source] = -1
+	stack := []int{graph.Source}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, a := range neighbors[u] {
+			if !seen[a.to] {
+				seen[a.to] = true
+				fa[a.to] = u
+				faEdge[a.to] = a.edge
+				faLen[a.to] = a.l
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	// post-order: downstream capacitance with width-scaled wire caps
+	caps := make([]float64, t.N)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		caps[v] += m.LoadAt(v)
+		if p := fa[v]; p >= 0 {
+			caps[p] += caps[v] + m.CUnit*faLen[v]*st.Widths[faEdge[v]]
+		}
+	}
+	// pre-order: delays with width-scaled wire resistance
+	d := make([]float64, t.N)
+	d[graph.Source] = m.RDriver * (m.CDriver + caps[graph.Source])
+	for _, v := range order[1:] {
+		l := faLen[v]
+		w := st.Widths[faEdge[v]]
+		r := m.RUnit * l / w
+		c := m.CUnit * l * w
+		d[v] = d[fa[v]] + r*(c/2+caps[v])
+	}
+	return d
+}
+
+// WorstDelay returns the maximum source-sink delay under the sizing.
+func (st *SizedTree) WorstDelay() float64 {
+	var r float64
+	for v, dv := range st.Delays() {
+		if v != graph.Source && dv > r {
+			r = dv
+		}
+	}
+	return r
+}
+
+// WireArea returns the total metal area (Σ length·width), the cost a
+// sizer trades against delay.
+func (st *SizedTree) WireArea() float64 {
+	var a float64
+	for i, e := range st.Tree.Edges {
+		a += e.W * st.Widths[i]
+	}
+	return a
+}
+
+// SizeWires greedily widens wires to minimize the worst source-sink
+// Elmore delay: at each step it tries bumping every edge to its next
+// allowed width and keeps the change with the largest improvement,
+// stopping after maxChanges bumps or when nothing helps. allowed must be
+// an ascending list of widths starting at 1 (minimum width).
+func SizeWires(t *graph.Tree, m Model, allowed []float64, maxChanges int) (*SizedTree, error) {
+	if len(allowed) == 0 || allowed[0] != 1 {
+		return nil, fmt.Errorf("delay: allowed widths must start at 1, got %v", allowed)
+	}
+	if !sort.Float64sAreSorted(allowed) {
+		return nil, fmt.Errorf("delay: allowed widths must ascend, got %v", allowed)
+	}
+	st, err := NewSizedTree(t, m)
+	if err != nil {
+		return nil, err
+	}
+	next := func(w float64) (float64, bool) {
+		for _, a := range allowed {
+			if a > w {
+				return a, true
+			}
+		}
+		return w, false
+	}
+	best := st.WorstDelay()
+	for changes := 0; changes < maxChanges; changes++ {
+		bestEdge := -1
+		bestWidth := 0.0
+		for i := range st.Widths {
+			w, ok := next(st.Widths[i])
+			if !ok {
+				continue
+			}
+			old := st.Widths[i]
+			st.Widths[i] = w
+			if d := st.WorstDelay(); d < best-1e-12 {
+				best = d
+				bestEdge = i
+				bestWidth = w
+			}
+			st.Widths[i] = old
+		}
+		if bestEdge == -1 {
+			break
+		}
+		st.Widths[bestEdge] = bestWidth
+	}
+	return st, nil
+}

@@ -1,0 +1,187 @@
+package delay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// VanGinneken places buffers on the tree to minimize the worst
+// source-sink Elmore delay, optimally over placements at tree nodes —
+// the classical dynamic program (van Ginneken, ISCAS 1990) behind the
+// paper's §8 "effects of buffering" item.
+//
+// The DP walks the tree bottom-up maintaining, per subtree, a Pareto
+// frontier of (downstream capacitance, required arrival time) options:
+// RAT(sink) = 0, wires and buffers subtract their delay, siblings merge
+// by summing capacitance and keeping the worse RAT, and dominated
+// options (both more capacitive and tighter) are pruned. The root
+// option with the best RAT after the driver delay yields the minimum
+// achievable worst delay; the chosen placement is reconstructed from
+// back-pointers.
+//
+// maxBuffers caps the number of buffers (< 0 = unlimited). Placements
+// are restricted to tree nodes (terminals), matching BufferedTree.
+func VanGinneken(t *graph.Tree, m Model, buf Buffer, maxBuffers int) (*BufferedTree, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := buf.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	limit := maxBuffers
+	if limit < 0 || limit > t.N-1 {
+		limit = t.N - 1
+	}
+
+	// Root the tree at the source.
+	adj := t.Adjacency()
+	fa := make([]int, t.N)
+	faLen := make([]float64, t.N)
+	order := make([]int, 0, t.N)
+	seen := make([]bool, t.N)
+	seen[graph.Source] = true
+	fa[graph.Source] = -1
+	stack := []int{graph.Source}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, a := range adj[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				fa[a.To] = u
+				faLen[a.To] = a.W
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	children := make([][]int, t.N)
+	for _, v := range order[1:] {
+		children[fa[v]] = append(children[fa[v]], v)
+	}
+	for _, c := range children {
+		sort.Ints(c) // deterministic merge order
+	}
+
+	// option is one Pareto point of a subtree: seen-from-above cap and
+	// required arrival time, with the buffer placement that achieves it.
+	type option struct {
+		cap     float64
+		rat     float64
+		buffers int
+		placed  map[int]bool // buffer placement within the subtree
+	}
+	prune := func(opts []option) []option {
+		// sort by cap ascending, rat descending; keep the RAT frontier
+		// per buffer count (options with more buffers must strictly win)
+		sort.Slice(opts, func(i, j int) bool {
+			if opts[i].cap != opts[j].cap {
+				return opts[i].cap < opts[j].cap
+			}
+			return opts[i].rat > opts[j].rat
+		})
+		var out []option
+		for _, o := range opts {
+			dominated := false
+			for _, k := range out {
+				if k.cap <= o.cap && k.rat >= o.rat && k.buffers <= o.buffers {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+
+	opts := make([][]option, t.N)
+	// bottom-up over the reverse pre-order
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		// start from the node's own load
+		cur := []option{{cap: m.LoadAt(v), rat: 0, placed: map[int]bool{}}}
+		// fold in children: wire from v to child c
+		for _, c := range children[v] {
+			l := faLen[c]
+			wireCap := m.CUnit * l
+			wireR := m.RUnit * l
+			var merged []option
+			for _, oc := range opts[c] {
+				// the wire sees the child's cap; its delay charges the child's RAT
+				childCap := oc.cap + wireCap
+				childRAT := oc.rat - wireR*(wireCap/2+oc.cap)
+				for _, ov := range cur {
+					if ov.buffers+oc.buffers > limit {
+						continue
+					}
+					placed := make(map[int]bool, len(ov.placed)+len(oc.placed))
+					for k := range ov.placed {
+						placed[k] = true
+					}
+					for k := range oc.placed {
+						placed[k] = true
+					}
+					rat := ov.rat
+					if childRAT < rat {
+						rat = childRAT
+					}
+					merged = append(merged, option{
+						cap:     ov.cap + childCap,
+						rat:     rat,
+						buffers: ov.buffers + oc.buffers,
+						placed:  placed,
+					})
+				}
+			}
+			cur = prune(merged)
+		}
+		// optionally buffer at v (not at the source: the driver sits there)
+		if v != graph.Source {
+			var withBuf []option
+			for _, o := range cur {
+				if o.buffers+1 > limit {
+					continue
+				}
+				placed := make(map[int]bool, len(o.placed)+1)
+				for k := range o.placed {
+					placed[k] = true
+				}
+				placed[v] = true
+				withBuf = append(withBuf, option{
+					cap:     buf.CIn,
+					rat:     o.rat - buf.Delay - buf.RDrive*o.cap,
+					buffers: o.buffers + 1,
+					placed:  placed,
+				})
+			}
+			cur = prune(append(cur, withBuf...))
+		}
+		opts[v] = cur
+	}
+
+	// pick the root option maximizing RAT after the driver delay
+	best := -1
+	bestVal := 0.0
+	for i, o := range opts[graph.Source] {
+		val := o.rat - m.RDriver*(m.CDriver+o.cap)
+		if best == -1 || val > bestVal {
+			best = i
+			bestVal = val
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("delay: van Ginneken produced no options")
+	}
+	at := make([]bool, t.N)
+	for v := range opts[graph.Source][best].placed {
+		at[v] = true
+	}
+	return NewBufferedTree(t, m, buf, at)
+}

@@ -1,0 +1,149 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/mst"
+)
+
+// bruteBestBuffers enumerates every placement of at most maxBuffers
+// buffers over the non-source nodes and returns the minimum achievable
+// worst delay.
+func bruteBestBuffers(t *graph.Tree, m Model, buf Buffer, maxBuffers int) float64 {
+	n := t.N
+	best := math.Inf(1)
+	at := make([]bool, n)
+	var rec func(v, used int)
+	rec = func(v, used int) {
+		if v == n {
+			bt, err := NewBufferedTree(t, m, buf, at)
+			if err != nil {
+				return
+			}
+			if w := bt.WorstDelay(); w < best {
+				best = w
+			}
+			return
+		}
+		rec(v+1, used)
+		if used < maxBuffers {
+			at[v] = true
+			rec(v+1, used+1)
+			at[v] = false
+		}
+	}
+	rec(1, 0)
+	return best
+}
+
+func TestVanGinnekenValidation(t *testing.T) {
+	tr := chainTree(3, 1)
+	if _, err := VanGinneken(tr, Model{RUnit: -1}, Buffer{}, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := VanGinneken(tr, DefaultModel(), Buffer{RDrive: -1}, 1); err == nil {
+		t.Error("invalid buffer accepted")
+	}
+	forest := chainTree(3, 1)
+	forest.RemoveEdge(0, 1)
+	if _, err := VanGinneken(forest, DefaultModel(), Buffer{}, 1); err == nil {
+		t.Error("forest accepted")
+	}
+}
+
+// The DP must be exactly optimal over node placements: compare against
+// brute force on small random trees.
+func TestVanGinnekenMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 12; trial++ {
+		pts := make([]geom.Point, 7)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * 200, Y: rng.Float64() * 200}
+		}
+		in := inst.MustNew(geom.Point{}, pts, geom.Manhattan)
+		tr := mst.Kruskal(in.DistMatrix())
+		loads := make([]float64, tr.N)
+		for i := 1; i < tr.N; i++ {
+			loads[i] = rng.Float64() * 3
+		}
+		m := Model{RUnit: 0.3, CUnit: 0.2, RDriver: 2 + rng.Float64()*4, CDriver: 1, Load: loads}
+		buf := Buffer{RDrive: 0.3, CIn: 0.3, Delay: 1 + rng.Float64()*4}
+		maxBuf := 1 + rng.Intn(3)
+
+		vg, err := VanGinneken(tr, m, buf, maxBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vg.NumBuffers() > maxBuf {
+			t.Errorf("trial %d: %d buffers over limit %d", trial, vg.NumBuffers(), maxBuf)
+		}
+		want := bruteBestBuffers(tr, m, buf, maxBuf)
+		if got := vg.WorstDelay(); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("trial %d: VG %v vs brute optimum %v", trial, got, want)
+		}
+	}
+}
+
+// The DP can never lose to the greedy.
+func TestVanGinnekenBeatsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		pts := make([]geom.Point, 10)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300}
+		}
+		in := inst.MustNew(geom.Point{}, pts, geom.Manhattan)
+		tr := mst.Kruskal(in.DistMatrix())
+		m := Model{RUnit: 0.4, CUnit: 0.3, RDriver: 6, CDriver: 1}
+		buf := Buffer{RDrive: 0.4, CIn: 0.4, Delay: 3}
+		vg, err := VanGinneken(tr, m, buf, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := InsertBuffers(tr, m, buf, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vg.WorstDelay() > greedy.WorstDelay()+1e-9 {
+			t.Errorf("trial %d: VG %v worse than greedy %v", trial, vg.WorstDelay(), greedy.WorstDelay())
+		}
+	}
+}
+
+func TestVanGinnekenUnlimitedBuffers(t *testing.T) {
+	tr := chainTree(6, 40)
+	loads := make([]float64, 6)
+	loads[5] = 10
+	m := Model{RUnit: 0.5, CUnit: 0.5, RDriver: 5, CDriver: 1, Load: loads}
+	buf := Buffer{RDrive: 0.2, CIn: 0.1, Delay: 1}
+	vg, err := VanGinneken(tr, m, buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbuffered := SourceRadius(tr, m)
+	if vg.WorstDelay() >= unbuffered {
+		t.Errorf("unlimited VG (%v) should beat unbuffered (%v) on a long loaded chain",
+			vg.WorstDelay(), unbuffered)
+	}
+}
+
+func TestVanGinnekenZeroBudgetIsUnbuffered(t *testing.T) {
+	tr := chainTree(5, 10)
+	m := DefaultModel()
+	buf := Buffer{RDrive: 0.5, CIn: 0.5, Delay: 5}
+	vg, err := VanGinneken(tr, m, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.NumBuffers() != 0 {
+		t.Errorf("zero budget placed %d buffers", vg.NumBuffers())
+	}
+	if math.Abs(vg.WorstDelay()-SourceRadius(tr, m)) > 1e-9 {
+		t.Error("zero-budget delay differs from plain Elmore")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// ElmoreStats characterizes the §3.2 delay-bounded construction, which
+// the paper describes but does not table: across random nets and driver
+// strengths, the cost of BKRUSElmore relative to the MST and the star,
+// and its worst delay relative to the bound. The MST column shows why
+// wirelength alone is a poor proxy — its delay ratio routinely exceeds
+// the bound that BKRUSElmore meets by construction.
+func ElmoreStats(cfg Config) error {
+	tb := table.New("Elmore-bounded BKRUS on random nets (16 sinks)",
+		"driver", "eps", "cost/MST", "cost/star", "delay/R", "MST.delay/R")
+	cases := cfg.cases()
+	type driver struct {
+		name string
+		m    delay.Model
+	}
+	drivers := []driver{
+		{"strong", delay.Model{RUnit: 0.1, CUnit: 0.2, RDriver: 0.2, CDriver: 1}},
+		{"weak", delay.Model{RUnit: 0.1, CUnit: 0.2, RDriver: 3, CDriver: 1}},
+	}
+	epsGrid := []float64{0.0, 0.2, 0.5, 1.0}
+	if cfg.Quick {
+		epsGrid = []float64{0.0, 0.5}
+	}
+	for _, dr := range drivers {
+		for _, eps := range epsGrid {
+			var costMST, costStar, delayR, mstDelayR stats.Acc
+			for k := 0; k < cases; k++ {
+				in := bench.RandomCase(16, k)
+				m := dr.m
+				starR := delay.StarR(in, m)
+				t, err := delay.BKRUSElmore(in, eps, m)
+				if err != nil {
+					continue // never happens since the star fallback
+				}
+				mstTree := mst.Kruskal(in.DistMatrix())
+				dm := in.DistMatrix()
+				var starCost float64
+				for v := 1; v < in.N(); v++ {
+					starCost += dm.At(graph.Source, v)
+				}
+				costMST.Add(t.Cost() / mstTree.Cost())
+				costStar.Add(t.Cost() / starCost)
+				delayR.Add(delay.SourceRadius(t, m) / starR)
+				mstDelayR.Add(delay.SourceRadius(mstTree, m) / starR)
+			}
+			tb.AddRow(dr.name, epsLabel(eps),
+				costMST.Mean(), costStar.Mean(), delayR.Mean(), mstDelayR.Mean())
+		}
+	}
+	return cfg.render(tb)
+}

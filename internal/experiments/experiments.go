@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each Table*/Figure* function runs the corresponding
+// experiment and renders a plain-text table; cmd/experiments exposes
+// them on the command line and bench_test.go wires them into testing.B.
+//
+// Absolute CPU seconds are reported for relative comparison only — the
+// paper's numbers are from 1996 HP-PA/SUN workstations. Cost and path
+// ratios are the reproducible quantities; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/mst"
+	"repro/internal/table"
+)
+
+// Config controls experiment scope.
+type Config struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Quick shrinks grids and case counts so the whole suite runs in
+	// seconds (used by CI and the bench harness). Full mode reproduces
+	// the paper's grids and can take hours on the largest benchmarks.
+	Quick bool
+	// Cases overrides the number of random cases per configuration
+	// (0 = paper's 50, or 10 in quick mode).
+	Cases int
+	// ExchangeBudget caps BKH2/BKEX exchange expansions on the large
+	// benchmarks (0 = a size-dependent default). Results reached at the
+	// budget are marked with a trailing '+'.
+	ExchangeBudget int
+	// GabowBudget caps BMSTG tree enumeration (0 = internal default).
+	GabowBudget int
+	// CSV renders tables as comma-separated values instead of aligned
+	// text, for downstream plotting.
+	CSV bool
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+// render writes a result table in the configured format.
+func (c Config) render(tb *table.Table) error {
+	if c.CSV {
+		return tb.RenderCSV(c.out())
+	}
+	return tb.Render(c.out())
+}
+
+func (c Config) cases() int {
+	if c.Cases > 0 {
+		return c.Cases
+	}
+	if c.Quick {
+		return 10
+	}
+	return bench.RandomCases
+}
+
+// epsGrid is the paper's ε column for Tables 2 and 3 (∞ first).
+func epsGrid(quick bool) []float64 {
+	if quick {
+		return []float64{math.Inf(1), 1.0, 0.5, 0.2, 0.0}
+	}
+	return []float64{math.Inf(1), 1.5, 1.0, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0}
+}
+
+// epsLabel renders ε the way the paper prints it.
+func epsLabel(eps float64) string {
+	if math.IsInf(eps, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", eps)
+}
+
+// timed runs f and returns its result along with elapsed seconds.
+func timed[T any](f func() (T, error)) (T, float64, error) {
+	start := time.Now()
+	v, err := f()
+	return v, time.Since(start).Seconds(), nil2(err)
+}
+
+func nil2(err error) error { return err }
+
+// ratios computes the paper's two quality columns for a tree: the
+// performance ratio cost/cost(MST) and the path ratio radius/R.
+func ratios(t *graph.Tree, in *inst.Instance, mstCost float64) (perf, path float64) {
+	perf = t.Cost() / mstCost
+	path = t.Radius(graph.Source) / in.R()
+	return perf, path
+}
+
+// mstCostOf computes the MST reference cost of an instance.
+func mstCostOf(in *inst.Instance) float64 {
+	return mst.Kruskal(in.DistMatrix()).Cost()
+}
+
+// exchangeBudget picks an exchange expansion budget for an instance
+// size and search depth. Depth-2 searches on small nets converge fast
+// and run unlimited; deeper or larger searches are exponential and get
+// a budget.
+func (c Config) exchangeBudget(sinks, depth int) int {
+	if c.ExchangeBudget > 0 {
+		return c.ExchangeBudget
+	}
+	if depth <= 2 && sinks <= 100 {
+		return 0 // unlimited
+	}
+	if c.Quick {
+		return 100000
+	}
+	if depth > 2 {
+		return 5000000 // deep searches: keep the per-call tail bounded
+	}
+	return 50000000
+}
+
+// bkh2Budget is the depth-2 budget.
+func (c Config) bkh2Budget(sinks int) int { return c.exchangeBudget(sinks, 2) }
+
+// bkh2 runs BKRUS + depth-2 exchange with the configured budget,
+// reporting whether the search was truncated.
+func (c Config) bkh2(in *inst.Instance, eps float64) (*graph.Tree, bool, error) {
+	start, err := core.BKRUS(in, eps)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{
+		MaxDepth:      2,
+		MaxExpansions: c.bkh2Budget(in.NumSinks()),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Tree, res.Truncated, nil
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Quick: true, Cases: 3}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p1", "p4", "20.4", "R", "r"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// the p1 pathology: at eps=0 every method's perf ratio is high
+	if !strings.Contains(out, "p1") || !strings.Contains(out, "inf") {
+		t.Errorf("Table2 incomplete:\n%s", out)
+	}
+	// at eps=inf everything is the MST: perf ratio 1.000 must appear
+	if !strings.Contains(out, "1.000") {
+		t.Errorf("Table2 missing unit ratios:\n%s", out)
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.ExchangeBudget = 2000
+	if err := Table3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pr1") || !strings.Contains(out, "r1") {
+		t.Errorf("Table3 missing benchmarks:\n%s", out)
+	}
+	if !strings.Contains(out, "reduction%") {
+		t.Errorf("Table3 missing reduction column:\n%s", out)
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BP.ave", "BRBC.max", "ST.min", "5", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p1.s") || !strings.Contains(out, "p4.r") {
+		t.Errorf("Table5 missing columns:\n%s", out)
+	}
+	// infeasible combos must exist on the special benchmarks
+	if !strings.Contains(out, "-") {
+		t.Errorf("Table5 has no infeasible combinations (suspicious):\n%s", out)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for name, f := range map[string]func(Config) error{
+		"f1": Figure1, "f9": Figure9, "f10": Figure10,
+		"f11": Figure11, "f12": Figure12, "f13": Figure13,
+	} {
+		var buf bytes.Buffer
+		if err := f(quickCfg(&buf)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestFigure13RatioGrows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure13(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	// quick mode prints N=4 and N=8; the 8-sink ratio must be ~7.9
+	out := buf.String()
+	if !strings.Contains(out, "7.9") {
+		t.Errorf("Figure 13 ratio for N=8 not ~7.9:\n%s", out)
+	}
+}
+
+func TestDepthStatsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Quick: true, Cases: 2}
+	if err := DepthStats(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "optimal%") {
+		t.Errorf("DepthStats missing column:\n%s", out)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	if err := Run("1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("zzz", cfg); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := Run("f13", cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.out() == nil {
+		t.Error("nil Out should map to a discard writer")
+	}
+	if c.cases() != 50 {
+		t.Errorf("full-mode cases = %d, want 50", c.cases())
+	}
+	if (Config{Quick: true}).cases() != 10 {
+		t.Error("quick-mode cases should be 10")
+	}
+	if (Config{Cases: 7}).cases() != 7 {
+		t.Error("explicit cases ignored")
+	}
+	if c.bkh2Budget(50) != 0 {
+		t.Error("small nets should be unlimited")
+	}
+	if (Config{Quick: true}).bkh2Budget(500) == 0 {
+		t.Error("large nets need a budget in quick mode")
+	}
+	if (Config{ExchangeBudget: 9}).bkh2Budget(500) != 9 {
+		t.Error("explicit budget ignored")
+	}
+}
+
+func TestLemmaStatsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Quick: true, Cases: 3}
+	if err := LemmaStats(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trees.on") {
+		t.Errorf("LemmaStats missing column:\n%s", buf.String())
+	}
+}
+
+func TestElmoreStatsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Quick: true, Cases: 3}
+	if err := ElmoreStats(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "strong") || !strings.Contains(out, "weak") {
+		t.Errorf("ElmoreStats missing drivers:\n%s", out)
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Quick: true, Cases: 2, CSV: true}
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bench,#pts") {
+		t.Errorf("CSV header missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/mst"
+	"repro/internal/stats"
+	"repro/internal/steiner"
+	"repro/internal/table"
+)
+
+// Figure1 reproduces the paper's Figure 1 phenomenon on the p3
+// configuration: at a tight ε, bounded-Prim strands far sinks on direct
+// source connections while BKRUS builds a far cheaper tree of the same
+// radius class.
+func Figure1(cfg Config) error {
+	in := bench.P3()
+	tb := table.New("Figure 1: BPRIM pathology on the chain configuration (p3)",
+		"eps", "cost(MST)", "cost(BKT)", "cost(BPRIM)", "BPRIM/BKT")
+	mstCost := mstCostOf(in)
+	for _, eps := range []float64{0.25, 0.0} {
+		bk, err := core.BKRUS(in, eps)
+		if err != nil {
+			return err
+		}
+		bp, err := baseline.BPRIM(in, eps)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(epsLabel(eps), mstCost, bk.Cost(), bp.Cost(), bp.Cost()/bk.Cost())
+	}
+	return cfg.render(tb)
+}
+
+// figureSweep is the ε series used by Figures 9 and 10.
+func figureSweep(quick bool) []float64 {
+	if quick {
+		return []float64{0.0, 0.2, 0.5, 1.0}
+	}
+	return []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0, 1.5}
+}
+
+// Figure9 reproduces the trade-off curve: average longest path ratio and
+// average cost ratio of BKRUS versus ε over the random set. The two
+// series move in opposite directions — the paper's smooth trade-off.
+func Figure9(cfg Config) error {
+	tb := table.New("Figure 9: BKRUS trade-off curve over random nets (15 sinks)",
+		"eps", "path/R", "cost/MST")
+	cases := cfg.cases()
+	for _, eps := range figureSweep(cfg.Quick) {
+		var path, cost stats.Acc
+		for k := 0; k < cases; k++ {
+			in := bench.RandomCase(15, k)
+			t, err := core.BKRUS(in, eps)
+			if err != nil {
+				return err
+			}
+			perf, pr := ratios(t, in, mstCostOf(in))
+			cost.Add(perf)
+			path.Add(pr)
+		}
+		tb.AddRow(epsLabel(eps), path.Mean(), cost.Mean())
+	}
+	return cfg.render(tb)
+}
+
+// Figure10 reproduces the ratio curves: cost(BKRUS)/cost(MST),
+// cost(BKEX)/cost(MST), cost(BKRUS)/cost(BKEX) and
+// cost(BKH2)/cost(BKEX) versus ε on the random set (BKEX is the
+// optimum reference).
+func Figure10(cfg Config) error {
+	tb := table.New("Figure 10: ratio curves over random nets (10 sinks)",
+		"eps", "BKRUS/MST", "BKEX/MST", "BKRUS/BKEX", "BKH2/BKEX")
+	cases := cfg.cases()
+	for _, eps := range figureSweep(cfg.Quick) {
+		var krMST, exMST, krEX, h2EX stats.Acc
+		for k := 0; k < cases; k++ {
+			in := bench.RandomCase(10, k)
+			mstCost := mstCostOf(in)
+			kr, err := core.BKRUS(in, eps)
+			if err != nil {
+				return err
+			}
+			ex, err := optimalTree(cfg, in, eps)
+			if err != nil {
+				return err
+			}
+			h2, _, err := cfg.bkh2(in, eps)
+			if err != nil {
+				return err
+			}
+			krMST.Add(kr.Cost() / mstCost)
+			exMST.Add(ex.Cost() / mstCost)
+			krEX.Add(kr.Cost() / ex.Cost())
+			h2EX.Add(h2.Cost() / ex.Cost())
+		}
+		tb.AddRow(epsLabel(eps), krMST.Mean(), exMST.Mean(), krEX.Mean(), h2EX.Mean())
+	}
+	return cfg.render(tb)
+}
+
+// Figure11 reproduces the routing cost chart: the average relative cost
+// position of every construction, normalized to the MST, at a
+// representative ε. Expected ordering (cheap to expensive):
+// BKST < MST <= BMST_G = BKEX <= BKH2 <= BKRUS <= SPT <= MaxST.
+func Figure11(cfg Config) error {
+	tb := table.New("Figure 11: routing cost chart (cost/MST at eps = 0.2, random 10-sink nets)",
+		"construction", "cost/MST")
+	cases := cfg.cases()
+	var st, g, h2, kr, spt, maxst stats.Acc
+	for k := 0; k < cases; k++ {
+		in := bench.RandomCase(10, k)
+		mstCost := mstCostOf(in)
+		eps := 0.2
+		if t, err := steiner.BKST(in, eps); err == nil {
+			st.Add(t.Cost() / mstCost)
+		}
+		if t, err := optimalTree(cfg, in, eps); err == nil {
+			g.Add(t.Cost() / mstCost)
+		}
+		if t, _, err := cfg.bkh2(in, eps); err == nil {
+			h2.Add(t.Cost() / mstCost)
+		}
+		if t, err := core.BKRUS(in, eps); err == nil {
+			kr.Add(t.Cost() / mstCost)
+		}
+		dm := in.DistMatrix()
+		spt.Add(mst.SPT(dm, 0).Cost() / mstCost)
+		maxst.Add(mst.Maximal(dm).Cost() / mstCost)
+	}
+	tb.AddRow("BKST (Steiner)", st.Mean())
+	tb.AddRow("MST (unbounded)", 1.0)
+	tb.AddRow("BMST_G / BKEX (optimal)", g.Mean())
+	tb.AddRow("BKH2", h2.Mean())
+	tb.AddRow("BKRUS", kr.Mean())
+	tb.AddRow("SPT", spt.Mean())
+	tb.AddRow("Maximal ST", maxst.Mean())
+	return cfg.render(tb)
+}
+
+// Figure12 reproduces the lower/upper bound trade-off: the skew ratio s
+// and cost ratio of LUB-BKRUS across the (ε1, ε2) grid on p4, the
+// paper's typical curve between routing cost and clock skew.
+func Figure12(cfg Config) error {
+	in := bench.P4()
+	mstCost := mstCostOf(in)
+	tb := table.New("Figure 12: skew vs cost trade-off (LUB BKRUS on p4)",
+		"eps1", "eps2", "skew", "cost/MST")
+	eps1s, eps2s := lubGrid(cfg.Quick)
+	for _, e1 := range eps1s {
+		for _, e2 := range eps2s {
+			t, err := core.BKRUSLU(in, e1, e2)
+			if err != nil {
+				tb.AddRow(fmt.Sprintf("%.1f", e1), fmt.Sprintf("%.1f", e2), "-", "-")
+				continue
+			}
+			tb.AddRow(fmt.Sprintf("%.1f", e1), fmt.Sprintf("%.1f", e2), skew(t), t.Cost()/mstCost)
+		}
+	}
+	return cfg.render(tb)
+}
+
+// Figure13 reproduces the pathology family: N sinks on the Manhattan
+// circle arc at distance R force cost(BKT)/cost(MST) ≈ N at ε = 0.
+func Figure13(cfg Config) error {
+	tb := table.New("Figure 13: cost(BKT)/cost(MST) approaches N on the arc family",
+		"N sinks", "cost(BKT)", "cost(MST)", "ratio")
+	ns := []int{2, 4, 6, 8, 10}
+	if cfg.Quick {
+		ns = []int{4, 8}
+	}
+	for _, n := range ns {
+		in := arcFamily(n)
+		bkt, err := core.BKRUS(in, 0)
+		if err != nil {
+			return err
+		}
+		mstCost := mstCostOf(in)
+		tb.AddRow(n, bkt.Cost(), mstCost, bkt.Cost()/mstCost)
+	}
+	return cfg.render(tb)
+}
+
+// bkexDepth runs BKRUS followed by exchange search capped at the given
+// chain depth.
+func bkexDepth(in *inst.Instance, eps float64, depth int) (*graph.Tree, error) {
+	start, err := core.BKRUS(in, eps)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: depth})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tree, nil
+}
+
+// arcFamily places n sinks on the Manhattan circle of radius 20 with
+// tiny arc spacing, the Figure 13 worst case.
+func arcFamily(n int) *inst.Instance {
+	sinks := make([]geom.Point, n)
+	for i := range sinks {
+		t := float64(i) * 0.01
+		sinks[i] = geom.Point{X: 20 - t, Y: t}
+	}
+	return inst.MustNew(geom.Point{}, sinks, geom.Manhattan)
+}
+
+// DepthStats reproduces the §5 BKEX depth study: the fraction of random
+// instances solved to optimality by negative-sum-exchange search at each
+// depth limit (the paper reports 96.9%, 97.3%, 99.7% for depths 2, 3, 4
+// over 2750 cases).
+func DepthStats(cfg Config) error {
+	tb := table.New("BKEX depth statistics (fraction of random cases solved optimally)",
+		"depth", "optimal%", "cases")
+	cases := cfg.cases() * len(bench.RandomSetSizes)
+	type job struct {
+		in  *inst.Instance
+		eps float64
+	}
+	var jobs []job
+	i := 0
+	for _, size := range bench.RandomSetSizes {
+		for k := 0; k < cfg.cases(); k++ {
+			eps := []float64{0.0, 0.1, 0.2, 0.5, 1.0}[i%5]
+			i++
+			jobs = append(jobs, job{bench.RandomCase(size, k), eps})
+		}
+	}
+	optima := make([]float64, len(jobs))
+	for j, jb := range jobs {
+		t, err := optimalTree(cfg, jb.in, jb.eps)
+		if err != nil {
+			return err
+		}
+		optima[j] = t.Cost()
+	}
+	for _, depth := range []int{1, 2, 3, 4, 6} {
+		hit := 0
+		for j, jb := range jobs {
+			t, err := bkexDepth(jb.in, jb.eps, depth)
+			if err != nil {
+				return err
+			}
+			if t.Cost() <= optima[j]*(1+1e-9) {
+				hit++
+			}
+		}
+		tb.AddRow(depth, 100*float64(hit)/float64(len(jobs)), cases)
+	}
+	return cfg.render(tb)
+}
+
+// All runs every table and figure in paper order.
+func All(cfg Config) error {
+	steps := []func(Config) error{
+		Table1, Table2, Table3, Table4, Table5,
+		Figure1, Figure9, Figure10, Figure11, Figure12, Figure13,
+		DepthStats, LemmaStats, ElmoreStats,
+	}
+	for _, step := range steps {
+		if err := step(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.out())
+	}
+	return nil
+}
+
+// Run dispatches a single experiment by id: "1".."5" for tables,
+// "f1","f9".."f13" for figures, "depth" for the depth study, "lemmas"
+// for the Lemma 4.1-4.3 ablation, "elmore" for the §3.2 delay study,
+// or "all".
+func Run(id string, cfg Config) error {
+	switch id {
+	case "1":
+		return Table1(cfg)
+	case "2":
+		return Table2(cfg)
+	case "3":
+		return Table3(cfg)
+	case "4":
+		return Table4(cfg)
+	case "5":
+		return Table5(cfg)
+	case "f1":
+		return Figure1(cfg)
+	case "f9":
+		return Figure9(cfg)
+	case "f10":
+		return Figure10(cfg)
+	case "f11":
+		return Figure11(cfg)
+	case "f12":
+		return Figure12(cfg)
+	case "f13":
+		return Figure13(cfg)
+	case "depth":
+		return DepthStats(cfg)
+	case "lemmas":
+		return LemmaStats(cfg)
+	case "elmore":
+		return ElmoreStats(cfg)
+	case "all", "":
+		return All(cfg)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+	"repro/internal/table"
+)
+
+// Table1 prints the benchmark characteristics table (paper Table 1):
+// point and edge counts and the direct distances to the farthest (R) and
+// nearest (r) sinks. The p* rows reproduce the published figures; the
+// pr*/r* rows describe the synthetic stand-ins.
+func Table1(cfg Config) error {
+	tb := table.New("Table 1: Characteristics of Benchmarks", "bench", "#pts", "#edges", "R", "r")
+	for _, b := range bench.All() {
+		if cfg.Quick && b.In.N() > 700 {
+			continue // skip the minute-scale distance matrices in quick mode
+		}
+		tb.AddRow(b.Name, b.In.N(), b.In.NumEdges(), b.In.R(), b.In.NearestR())
+	}
+	return cfg.render(tb)
+}

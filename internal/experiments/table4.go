@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/exchange"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/stats"
+	"repro/internal/steiner"
+	"repro/internal/table"
+)
+
+// table4Eps is the paper's ε grid for the random benchmark set.
+func table4Eps(quick bool) []float64 {
+	if quick {
+		return []float64{0.0, 0.2, 0.5, 1.0}
+	}
+	return []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0}
+}
+
+// Table4 reproduces the paper's Table 4: the ratio of routing cost over
+// the MST for BPRIM, BRBC (max only, as in the paper), BKRUS, BKH2, the
+// optimum (BMST_G), and BKST on random nets of 5-15 sinks, averaged over
+// seeded cases. BKST rows report min/avg/max since Steiner trees beat
+// the MST itself.
+func Table4(cfg Config) error {
+	tb := table.New("Table 4: routing cost over MST on random nets",
+		"net", "eps",
+		"BP.ave", "BP.max", "BRBC.max",
+		"KR.ave", "KR.max",
+		"H2.ave", "H2.max",
+		"G.ave", "G.max",
+		"ST.min", "ST.ave", "ST.max")
+	sizes := bench.RandomSetSizes
+	if cfg.Quick {
+		sizes = []int{5, 10}
+	}
+	cases := cfg.cases()
+	for _, size := range sizes {
+		for _, eps := range table4Eps(cfg.Quick) {
+			var bp, brbc, kr, h2, g, st stats.Acc
+			for k := 0; k < cases; k++ {
+				in := bench.RandomCase(size, k)
+				mstCost := mstCostOf(in)
+				if t, err := baseline.BPRIM(in, eps); err == nil {
+					bp.Add(t.Cost() / mstCost)
+				}
+				if t, err := baseline.BRBC(in, eps); err == nil {
+					brbc.Add(t.Cost() / mstCost)
+				}
+				if t, err := core.BKRUS(in, eps); err == nil {
+					kr.Add(t.Cost() / mstCost)
+				}
+				if t, _, err := cfg.bkh2(in, eps); err == nil {
+					h2.Add(t.Cost() / mstCost)
+				}
+				if t, err := optimalTree(cfg, in, eps); err == nil {
+					g.Add(t.Cost() / mstCost)
+				}
+				if t, err := steiner.BKST(in, eps); err == nil {
+					st.Add(t.Cost() / mstCost)
+				}
+			}
+			tb.AddRow(size, epsLabel(eps),
+				f3(bp.Mean()), f3(bp.Max()), f3(brbc.Max()),
+				f3(kr.Mean()), f3(kr.Max()),
+				f3(h2.Mean()), f3(h2.Max()),
+				f3(g.Mean()), f3(g.Max()),
+				f3(st.Min()), f3(st.Mean()), f3(st.Max()))
+		}
+	}
+	return cfg.render(tb)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// optimalTree returns the (empirically) optimal bounded tree: the Gabow
+// enumeration under a tree budget, falling back to depth-6
+// negative-sum-exchange search under a work budget when the enumeration
+// space explodes. The paper found depth 6 optimal on all 2750 random
+// cases; a budget-truncated fallback is still a valid (near-optimal)
+// tree, so the reported optimum column is an upper bound in the rare
+// truncated cases.
+func optimalTree(cfg Config, in *inst.Instance, eps float64) (*graph.Tree, error) {
+	budget := cfg.GabowBudget
+	if budget == 0 {
+		budget = 30000
+	}
+	t, err := exact.BMSTG(in, eps, exact.Options{MaxTrees: budget})
+	if errors.Is(err, exact.ErrBudget) {
+		start, err := core.BKRUS(in, eps)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{
+			MaxDepth:      6,
+			MaxExpansions: cfg.exchangeBudget(in.NumSinks(), 6),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Tree, nil
+	}
+	return t, err
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/table"
+)
+
+// lubGrid is the (ε1, ε2) grid of the paper's Table 5.
+func lubGrid(quick bool) (eps1, eps2 []float64) {
+	if quick {
+		return []float64{0.0, 0.3, 0.7}, []float64{0.3, 1.0, 2.0}
+	}
+	return []float64{0.0, 0.1, 0.3, 0.5, 0.7, 1.0},
+		[]float64{0.0, 0.1, 0.3, 0.5, 1.0, 1.5, 2.0}
+}
+
+// Table5 reproduces the paper's Table 5: lower and upper bounded BKRUS.
+// For each benchmark and (ε1, ε2) pair it reports s — the ratio of the
+// longest over the shortest source-sink path (1.0 = zero clock skew) —
+// and r — the routing cost over the MST. Infeasible combinations print
+// "-", as many are (the paper notes node-branching spanning heuristics
+// cannot satisfy every window).
+func Table5(cfg Config) error {
+	names := []string{"p1", "p2", "p3", "p4"}
+	if !cfg.Quick {
+		names = append(names, "pr1", "pr2", "r1", "r2", "r3", "r4", "r5")
+	}
+	eps1s, eps2s := lubGrid(cfg.Quick)
+	cols := []string{"eps1", "eps2"}
+	for _, n := range names {
+		cols = append(cols, n+".s", n+".r")
+	}
+	tb := table.New("Table 5: lower and upper bounded BKRUS (s = skew ratio, r = cost/MST)", cols...)
+	type entry struct {
+		in      *inst.Instance
+		mstCost float64
+	}
+	ins := make(map[string]entry, len(names))
+	for _, n := range names {
+		in, _ := bench.ByName(n)
+		ins[n] = entry{in: in, mstCost: mstCostOf(in)}
+	}
+	for _, e1 := range eps1s {
+		for _, e2 := range eps2s {
+			row := []interface{}{fmt.Sprintf("%.1f", e1), fmt.Sprintf("%.1f", e2)}
+			for _, n := range names {
+				en := ins[n]
+				t, err := core.BKRUSLU(en.in, e1, e2)
+				if err != nil {
+					row = append(row, "-", "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.2f", skew(t)), fmt.Sprintf("%.2f", t.Cost()/en.mstCost))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return cfg.render(tb)
+}
+
+// skew returns longest/shortest source-sink path length of a tree.
+func skew(t *graph.Tree) float64 {
+	d := t.PathLengthsFrom(graph.Source)
+	longest, shortest := 0.0, math.Inf(1)
+	for v := 1; v < t.N; v++ {
+		if d[v] > longest {
+			longest = d[v]
+		}
+		if d[v] < shortest {
+			shortest = d[v]
+		}
+	}
+	if shortest == 0 {
+		return math.Inf(1)
+	}
+	return longest / shortest
+}

@@ -1,0 +1,178 @@
+// Package geom provides the plane-geometry substrate used by every tree
+// construction in this repository: points, the L1 (Manhattan) and L2
+// (Euclidean) metrics, distance matrices, and small helpers for bounding
+// boxes and coordinate collections.
+//
+// All algorithms in the paper operate on terminals placed on a Manhattan or
+// Euclidean plane; distances between terminals are metric distances in that
+// plane, and the complete graph over the terminals is implied.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a location on the routing plane.
+type Point struct {
+	X, Y float64
+}
+
+// String renders the point as "(x,y)" with compact float formatting.
+func (p Point) String() string {
+	return fmt.Sprintf("(%g,%g)", p.X, p.Y)
+}
+
+// Add returns the translation of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the translation of p by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by factor k about the origin.
+func (p Point) Scale(k float64) Point { return Point{k * p.X, k * p.Y} }
+
+// Metric selects the plane metric used for all distances.
+type Metric int
+
+const (
+	// Manhattan is the L1 metric: |dx| + |dy|. This is the wirelength
+	// metric of rectilinear VLSI routing and the metric used for all
+	// results in the paper.
+	Manhattan Metric = iota
+	// Euclidean is the L2 metric: sqrt(dx² + dy²).
+	Euclidean
+)
+
+// String returns the conventional name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case Manhattan:
+		return "Manhattan"
+	case Euclidean:
+		return "Euclidean"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined metrics.
+func (m Metric) Valid() bool { return m == Manhattan || m == Euclidean }
+
+// Dist returns the distance between a and b under metric m.
+func (m Metric) Dist(a, b Point) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	switch m {
+	case Manhattan:
+		return math.Abs(dx) + math.Abs(dy)
+	case Euclidean:
+		return math.Hypot(dx, dy)
+	default:
+		panic("geom: invalid metric")
+	}
+}
+
+// DistMatrix holds pairwise distances between n points in a flat backing
+// slice. The zero value is unusable; build one with NewDistMatrix.
+type DistMatrix struct {
+	n int
+	d []float64
+}
+
+// NewDistMatrix computes the full pairwise distance matrix of pts under m.
+func NewDistMatrix(pts []Point, m Metric) *DistMatrix {
+	n := len(pts)
+	dm := &DistMatrix{n: n, d: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := m.Dist(pts[i], pts[j])
+			dm.d[i*n+j] = w
+			dm.d[j*n+i] = w
+		}
+	}
+	return dm
+}
+
+// Len returns the number of points the matrix was built over.
+func (dm *DistMatrix) Len() int { return dm.n }
+
+// At returns the distance between points i and j.
+func (dm *DistMatrix) At(i, j int) float64 { return dm.d[i*dm.n+j] }
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Bounds returns the bounding box of pts. It panics on an empty slice,
+// because an empty box has no meaningful coordinates.
+func Bounds(pts []Point) BBox {
+	if len(pts) == 0 {
+		panic("geom: Bounds of empty point set")
+	}
+	b := BBox{pts[0].X, pts[0].Y, pts[0].X, pts[0].Y}
+	for _, p := range pts[1:] {
+		b.MinX = math.Min(b.MinX, p.X)
+		b.MinY = math.Min(b.MinY, p.Y)
+		b.MaxX = math.Max(b.MaxX, p.X)
+		b.MaxY = math.Max(b.MaxY, p.Y)
+	}
+	return b
+}
+
+// Width returns the x extent of the box.
+func (b BBox) Width() float64 { return b.MaxX - b.MinX }
+
+// Height returns the y extent of the box.
+func (b BBox) Height() float64 { return b.MaxY - b.MinY }
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.MinX && p.X <= b.MaxX && p.Y >= b.MinY && p.Y <= b.MaxY
+}
+
+// HalfPerimeter returns the half-perimeter wirelength of the box, a common
+// lower-bound estimate for rectilinear Steiner trees.
+func (b BBox) HalfPerimeter() float64 { return b.Width() + b.Height() }
+
+// UniqueCoords returns the sorted distinct values of xs within tolerance
+// eps: values closer than eps collapse to the first representative. It is
+// used to build Hanan grids that are robust to floating-point coordinate
+// noise.
+func UniqueCoords(xs []float64, eps float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v-out[len(out)-1] > eps {
+			out = append(out, v)
+		}
+	}
+	return append([]float64(nil), out...)
+}
+
+// Collinear reports whether the three points are collinear within tolerance
+// tol on the cross-product test.
+func Collinear(a, b, c Point, tol float64) bool {
+	cross := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	return math.Abs(cross) <= tol
+}
+
+// OnSegment reports whether point p lies on the axis-aligned segment from a
+// to b (the segment must be horizontal or vertical) within tolerance tol.
+func OnSegment(p, a, b Point, tol float64) bool {
+	if math.Abs(a.Y-b.Y) <= tol { // horizontal
+		lo, hi := math.Min(a.X, b.X), math.Max(a.X, b.X)
+		return math.Abs(p.Y-a.Y) <= tol && p.X >= lo-tol && p.X <= hi+tol
+	}
+	if math.Abs(a.X-b.X) <= tol { // vertical
+		lo, hi := math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+		return math.Abs(p.X-a.X) <= tol && p.Y >= lo-tol && p.Y <= hi+tol
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMetricString(t *testing.T) {
+	if Manhattan.String() != "Manhattan" {
+		t.Errorf("Manhattan.String() = %q", Manhattan.String())
+	}
+	if Euclidean.String() != "Euclidean" {
+		t.Errorf("Euclidean.String() = %q", Euclidean.String())
+	}
+	if got := Metric(7).String(); got != "Metric(7)" {
+		t.Errorf("Metric(7).String() = %q", got)
+	}
+}
+
+func TestMetricValid(t *testing.T) {
+	if !Manhattan.Valid() || !Euclidean.Valid() {
+		t.Error("defined metrics must be valid")
+	}
+	if Metric(9).Valid() {
+		t.Error("Metric(9) must be invalid")
+	}
+}
+
+func TestDistKnownValues(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if d := Manhattan.Dist(a, b); d != 7 {
+		t.Errorf("Manhattan dist = %v, want 7", d)
+	}
+	if d := Euclidean.Dist(a, b); d != 5 {
+		t.Errorf("Euclidean dist = %v, want 5", d)
+	}
+}
+
+func TestDistInvalidMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid metric")
+		}
+	}()
+	Metric(42).Dist(Point{}, Point{1, 1})
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.String(); got != "(1,2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: both metrics satisfy the metric axioms (identity, symmetry,
+// triangle inequality, non-negativity).
+func TestMetricAxiomsProperty(t *testing.T) {
+	for _, m := range []Metric{Manhattan, Euclidean} {
+		m := m
+		f := func(ax, ay, bx, by, cx, cy float64) bool {
+			// keep coordinates bounded to avoid overflow noise
+			clamp := func(v float64) float64 {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return 0
+				}
+				return math.Mod(v, 1e6)
+			}
+			a := Point{clamp(ax), clamp(ay)}
+			b := Point{clamp(bx), clamp(by)}
+			c := Point{clamp(cx), clamp(cy)}
+			dab := m.Dist(a, b)
+			dba := m.Dist(b, a)
+			dac := m.Dist(a, c)
+			dcb := m.Dist(c, b)
+			if dab < 0 {
+				return false
+			}
+			if m.Dist(a, a) != 0 {
+				return false
+			}
+			if dab != dba {
+				return false
+			}
+			// allow tiny fp slack on the triangle inequality
+			return dab <= dac+dcb+1e-6*(1+dab)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v axioms violated: %v", m, err)
+		}
+	}
+}
+
+// Property: Manhattan >= Euclidean >= Manhattan/sqrt(2) for the same pair.
+func TestMetricComparisonProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		l1 := Manhattan.Dist(a, b)
+		l2 := Euclidean.Dist(a, b)
+		return l2 <= l1+1e-9 && l1 <= l2*math.Sqrt2*(1+1e-12)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistMatrix(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {1, 2}, {-3, 4}}
+	dm := NewDistMatrix(pts, Manhattan)
+	if dm.Len() != 4 {
+		t.Fatalf("Len = %d", dm.Len())
+	}
+	for i := range pts {
+		for j := range pts {
+			want := Manhattan.Dist(pts[i], pts[j])
+			if got := dm.At(i, j); got != want {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+			if dm.At(i, j) != dm.At(j, i) {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+		if dm.At(i, i) != 0 {
+			t.Errorf("diagonal At(%d,%d) = %v", i, i, dm.At(i, i))
+		}
+	}
+}
+
+func TestDistMatrixEmpty(t *testing.T) {
+	dm := NewDistMatrix(nil, Euclidean)
+	if dm.Len() != 0 {
+		t.Errorf("empty matrix Len = %d", dm.Len())
+	}
+}
+
+func TestDistMatrixRandomAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 40)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	for _, m := range []Metric{Manhattan, Euclidean} {
+		dm := NewDistMatrix(pts, m)
+		for i := range pts {
+			for j := range pts {
+				if dm.At(i, j) != m.Dist(pts[i], pts[j]) {
+					t.Fatalf("metric %v mismatch at (%d,%d)", m, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pts := []Point{{1, 2}, {-1, 5}, {3, 0}}
+	b := Bounds(pts)
+	want := BBox{-1, 0, 3, 5}
+	if b != want {
+		t.Errorf("Bounds = %+v, want %+v", b, want)
+	}
+	if b.Width() != 4 || b.Height() != 5 {
+		t.Errorf("Width/Height = %v/%v", b.Width(), b.Height())
+	}
+	if b.HalfPerimeter() != 9 {
+		t.Errorf("HalfPerimeter = %v", b.HalfPerimeter())
+	}
+	if !b.Contains(Point{0, 3}) || b.Contains(Point{4, 3}) {
+		t.Error("Contains misclassifies")
+	}
+}
+
+func TestBoundsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty Bounds")
+		}
+	}()
+	Bounds(nil)
+}
+
+func TestUniqueCoords(t *testing.T) {
+	got := UniqueCoords([]float64{3, 1, 1.0000001, 2, 3, 1}, 1e-6)
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("UniqueCoords = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("UniqueCoords[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if UniqueCoords(nil, 1e-6) != nil {
+		t.Error("UniqueCoords(nil) should be nil")
+	}
+}
+
+func TestUniqueCoordsDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	UniqueCoords(in, 0)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestCollinear(t *testing.T) {
+	if !Collinear(Point{0, 0}, Point{1, 1}, Point{2, 2}, 1e-9) {
+		t.Error("diagonal points should be collinear")
+	}
+	if Collinear(Point{0, 0}, Point{1, 1}, Point{2, 3}, 1e-9) {
+		t.Error("non-collinear points misclassified")
+	}
+}
+
+func TestOnSegment(t *testing.T) {
+	// horizontal segment
+	if !OnSegment(Point{1, 0}, Point{0, 0}, Point{3, 0}, 1e-9) {
+		t.Error("point on horizontal segment rejected")
+	}
+	if OnSegment(Point{4, 0}, Point{0, 0}, Point{3, 0}, 1e-9) {
+		t.Error("point past horizontal segment accepted")
+	}
+	// vertical segment
+	if !OnSegment(Point{0, 2}, Point{0, 0}, Point{0, 5}, 1e-9) {
+		t.Error("point on vertical segment rejected")
+	}
+	if OnSegment(Point{1, 2}, Point{0, 0}, Point{0, 5}, 1e-9) {
+		t.Error("off-axis point accepted")
+	}
+	// diagonal segments are not axis-aligned: always false
+	if OnSegment(Point{1, 1}, Point{0, 0}, Point{2, 2}, 1e-9) {
+		t.Error("diagonal segment should be rejected")
+	}
+}
+
+func BenchmarkDistMatrix500(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDistMatrix(pts, Manhattan)
+	}
+}

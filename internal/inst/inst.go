@@ -1,0 +1,126 @@
+// Package inst defines the routing instance shared by every algorithm in
+// the repository: a source terminal, a set of sink terminals, and the
+// plane metric. Node ids follow the repository convention: node 0 is the
+// source, nodes 1..n are the sinks.
+package inst
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Instance is an immutable routing problem: a signal source driving a set
+// of sinks on a metric plane. Construct with New; the zero value is not
+// usable.
+type Instance struct {
+	pts    []geom.Point // pts[0] = source
+	metric geom.Metric
+	dm     *geom.DistMatrix // lazily built
+}
+
+// New builds an instance from a source, its sinks, and a metric. The sink
+// slice is copied. Coordinates must be finite.
+func New(source geom.Point, sinks []geom.Point, m geom.Metric) (*Instance, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("inst: invalid metric %d", int(m))
+	}
+	if len(sinks) == 0 {
+		return nil, errors.New("inst: instance needs at least one sink")
+	}
+	pts := make([]geom.Point, 0, len(sinks)+1)
+	pts = append(pts, source)
+	pts = append(pts, sinks...)
+	for i, p := range pts {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("inst: terminal %d has non-finite coordinates %v", i, p)
+		}
+	}
+	return &Instance{pts: pts, metric: m}, nil
+}
+
+// MustNew is New but panics on error; intended for fixtures and examples.
+func MustNew(source geom.Point, sinks []geom.Point, m geom.Metric) *Instance {
+	in, err := New(source, sinks, m)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// N returns the total number of terminals (source + sinks).
+func (in *Instance) N() int { return len(in.pts) }
+
+// NumSinks returns the number of sinks.
+func (in *Instance) NumSinks() int { return len(in.pts) - 1 }
+
+// Source returns the source location.
+func (in *Instance) Source() geom.Point { return in.pts[0] }
+
+// Sinks returns the sink locations (a copy).
+func (in *Instance) Sinks() []geom.Point {
+	return append([]geom.Point(nil), in.pts[1:]...)
+}
+
+// Point returns the location of node id (0 = source).
+func (in *Instance) Point(id int) geom.Point { return in.pts[id] }
+
+// Points returns all terminal locations, source first (a copy).
+func (in *Instance) Points() []geom.Point {
+	return append([]geom.Point(nil), in.pts...)
+}
+
+// Metric returns the plane metric.
+func (in *Instance) Metric() geom.Metric { return in.metric }
+
+// DistMatrix returns the pairwise terminal distance matrix, computing and
+// caching it on first use. Instances are not safe for concurrent first
+// use; share the instance only after the matrix is built (or call
+// DistMatrix once up front).
+func (in *Instance) DistMatrix() *geom.DistMatrix {
+	if in.dm == nil {
+		in.dm = geom.NewDistMatrix(in.pts, in.metric)
+	}
+	return in.dm
+}
+
+// R returns the direct distance from the source to the farthest sink —
+// the paper's R, the radius of the shortest path tree.
+func (in *Instance) R() float64 {
+	var r float64
+	for i := 1; i < len(in.pts); i++ {
+		if d := in.metric.Dist(in.pts[0], in.pts[i]); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// NearestR returns the direct distance from the source to the nearest
+// sink — the paper's lowercase r in Table 1.
+func (in *Instance) NearestR() float64 {
+	r := math.Inf(1)
+	for i := 1; i < len(in.pts); i++ {
+		if d := in.metric.Dist(in.pts[0], in.pts[i]); d < r {
+			r = d
+		}
+	}
+	return r
+}
+
+// Bound returns the path-length upper bound (1+eps)*R. eps = +Inf yields
+// +Inf (the unconstrained MST case in the paper's tables).
+func (in *Instance) Bound(eps float64) float64 {
+	if math.IsInf(eps, 1) {
+		return math.Inf(1)
+	}
+	return (1 + eps) * in.R()
+}
+
+// NumEdges returns the number of edges of the implied complete graph.
+func (in *Instance) NumEdges() int {
+	n := in.N()
+	return n * (n - 1) / 2
+}

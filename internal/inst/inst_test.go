@@ -1,0 +1,109 @@
+package inst
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Point{}, nil, geom.Manhattan); err == nil {
+		t.Error("instance without sinks accepted")
+	}
+	if _, err := New(geom.Point{}, []geom.Point{{X: 1, Y: 1}}, geom.Metric(9)); err == nil {
+		t.Error("invalid metric accepted")
+	}
+	in, err := New(geom.Point{}, []geom.Point{{X: 1, Y: 1}}, geom.Euclidean)
+	if err != nil || in.Metric() != geom.Euclidean {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on error")
+		}
+	}()
+	MustNew(geom.Point{}, nil, geom.Manhattan)
+}
+
+func TestAccessors(t *testing.T) {
+	src := geom.Point{X: 1, Y: 2}
+	sinks := []geom.Point{{X: 4, Y: 2}, {X: 1, Y: 3}}
+	in := MustNew(src, sinks, geom.Manhattan)
+	if in.N() != 3 || in.NumSinks() != 2 {
+		t.Errorf("N/NumSinks = %d/%d", in.N(), in.NumSinks())
+	}
+	if in.Source() != src {
+		t.Errorf("Source = %v", in.Source())
+	}
+	if in.Point(0) != src || in.Point(2) != sinks[1] {
+		t.Error("Point indexing wrong")
+	}
+	got := in.Sinks()
+	if len(got) != 2 || got[0] != sinks[0] {
+		t.Errorf("Sinks = %v", got)
+	}
+	// mutating the returned slices must not affect the instance
+	got[0] = geom.Point{X: -1, Y: -1}
+	if in.Point(1) == got[0] {
+		t.Error("Sinks leaked internal storage")
+	}
+	all := in.Points()
+	all[0] = geom.Point{X: 9, Y: 9}
+	if in.Source() == all[0] {
+		t.Error("Points leaked internal storage")
+	}
+	if in.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", in.NumEdges())
+	}
+}
+
+func TestRAndNearestR(t *testing.T) {
+	in := MustNew(geom.Point{}, []geom.Point{{X: 3, Y: 0}, {X: 0, Y: 7}, {X: 1, Y: 1}}, geom.Manhattan)
+	if in.R() != 7 {
+		t.Errorf("R = %v, want 7", in.R())
+	}
+	if in.NearestR() != 2 {
+		t.Errorf("NearestR = %v, want 2", in.NearestR())
+	}
+}
+
+func TestBound(t *testing.T) {
+	in := MustNew(geom.Point{}, []geom.Point{{X: 10, Y: 0}}, geom.Manhattan)
+	if b := in.Bound(0.5); math.Abs(b-15) > 1e-12 {
+		t.Errorf("Bound(0.5) = %v, want 15", b)
+	}
+	if !math.IsInf(in.Bound(math.Inf(1)), 1) {
+		t.Error("Bound(+Inf) should be +Inf")
+	}
+}
+
+func TestDistMatrixCached(t *testing.T) {
+	in := MustNew(geom.Point{}, []geom.Point{{X: 1, Y: 0}, {X: 2, Y: 0}}, geom.Manhattan)
+	dm1 := in.DistMatrix()
+	dm2 := in.DistMatrix()
+	if dm1 != dm2 {
+		t.Error("DistMatrix should be cached")
+	}
+	if dm1.At(0, 2) != 2 {
+		t.Errorf("At(0,2) = %v", dm1.At(0, 2))
+	}
+}
+
+func TestNewRejectsNonFinite(t *testing.T) {
+	bad := []geom.Point{
+		{X: math.NaN(), Y: 0},
+		{X: 0, Y: math.Inf(1)},
+	}
+	for _, p := range bad {
+		if _, err := New(geom.Point{}, []geom.Point{p}, geom.Manhattan); err == nil {
+			t.Errorf("non-finite sink %v accepted", p)
+		}
+		if _, err := New(p, []geom.Point{{X: 1, Y: 1}}, geom.Manhattan); err == nil {
+			t.Errorf("non-finite source %v accepted", p)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package mst implements the classical tree constructions the paper uses
+// as baselines and endpoints: Kruskal and Prim minimal spanning trees, the
+// Dijkstra shortest path tree (SPT), the maximal spanning tree (the
+// high-cost endpoint of the paper's Figure 11 cost chart), and the
+// constrained Kruskal construction needed by the Gabow-style exact
+// spanning-tree enumeration.
+package mst
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Kruskal returns a minimal spanning tree of the complete graph over w.
+func Kruskal(w graph.Weights) *graph.Tree {
+	edges := graph.CompleteEdges(w)
+	graph.SortEdges(edges)
+	t, _ := KruskalEdges(w.Len(), edges)
+	return t
+}
+
+// KruskalEdges runs Kruskal on a pre-sorted edge list over n nodes. It
+// reports false if the edges do not connect all n nodes. The edge list
+// must already be in nondecreasing weight order.
+func KruskalEdges(n int, sorted []graph.Edge) (*graph.Tree, bool) {
+	t := graph.NewTree(n)
+	if n <= 1 {
+		return t, true
+	}
+	ds := graph.NewDisjointSet(n)
+	for _, e := range sorted {
+		if ds.Union(e.U, e.V) {
+			t.Edges = append(t.Edges, e)
+			if len(t.Edges) == n-1 {
+				return t, true
+			}
+		}
+	}
+	return t, false
+}
+
+// Prim returns a minimal spanning tree grown from root over the complete
+// graph of w, using the O(V^2) dense-graph variant.
+func Prim(w graph.Weights, root int) *graph.Tree {
+	n := w.Len()
+	t := graph.NewTree(n)
+	if n <= 1 {
+		return t
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n) // cheapest connection weight to the tree
+	bestFrom := make([]int, n) // tree endpoint achieving best
+	for i := range best {
+		best[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	inTree[root] = true
+	for j := 0; j < n; j++ {
+		if j != root {
+			best[j] = w.At(root, j)
+			bestFrom[j] = root
+		}
+	}
+	for k := 1; k < n; k++ {
+		v := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (v == -1 || best[j] < best[v]) {
+				v = j
+			}
+		}
+		inTree[v] = true
+		t.AddEdge(bestFrom[v], v, best[v])
+		for j := 0; j < n; j++ {
+			if !inTree[j] && w.At(v, j) < best[j] {
+				best[j] = w.At(v, j)
+				bestFrom[j] = v
+			}
+		}
+	}
+	return t
+}
+
+// Maximal returns a maximum-weight spanning tree of the complete graph
+// over w. The paper's Figure 11 uses it as the most expensive spanning
+// topology for calibration.
+func Maximal(w graph.Weights) *graph.Tree {
+	edges := graph.CompleteEdges(w)
+	// sort by descending weight with the same deterministic tie-break
+	for i := range edges {
+		edges[i].W = -edges[i].W
+	}
+	graph.SortEdges(edges)
+	for i := range edges {
+		edges[i].W = -edges[i].W
+	}
+	t, _ := KruskalEdges(w.Len(), edges)
+	return t
+}
+
+// sptItem is a priority-queue entry for Dijkstra.
+type sptItem struct {
+	node int
+	dist float64
+}
+
+type sptHeap []sptItem
+
+func (h sptHeap) Len() int            { return len(h) }
+func (h sptHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h sptHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sptHeap) Push(x interface{}) { *h = append(*h, x.(sptItem)) }
+func (h *sptHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SPT returns the shortest path tree from root over the complete graph of
+// w (Dijkstra). On a metric point set the result is the star of direct
+// source-sink connections, the minimum-radius / maximum-cost end of the
+// paper's trade-off.
+func SPT(w graph.Weights, root int) *graph.Tree {
+	n := w.Len()
+	t := graph.NewTree(n)
+	if n <= 1 {
+		return t
+	}
+	dist := make([]float64, n)
+	from := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		from[i] = -1
+	}
+	dist[root] = 0
+	h := &sptHeap{{node: root, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(sptItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if from[u] != -1 {
+			t.AddEdge(from[u], u, w.At(from[u], u))
+		}
+		for v := 0; v < n; v++ {
+			if !done[v] && v != u {
+				if d := dist[u] + w.At(u, v); d < dist[v] {
+					dist[v] = d
+					from[v] = u
+					heap.Push(h, sptItem{node: v, dist: d})
+				}
+			}
+		}
+	}
+	return t
+}
+
+// SPTEdges returns the shortest path tree from root over an explicit edge
+// list (not necessarily complete). Used by the BRBC baseline, which runs
+// Dijkstra over the MST augmented with shortcut edges. Nodes unreachable
+// from root are left unconnected.
+func SPTEdges(n int, edges []graph.Edge, root int) *graph.Tree {
+	adj := make([][]graph.Adj, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], graph.Adj{To: e.V, W: e.W})
+		adj[e.V] = append(adj[e.V], graph.Adj{To: e.U, W: e.W})
+	}
+	t := graph.NewTree(n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	fromW := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		from[i] = -1
+	}
+	dist[root] = 0
+	h := &sptHeap{{node: root, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(sptItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if from[u] != -1 {
+			t.AddEdge(from[u], u, fromW[u])
+		}
+		for _, a := range adj[u] {
+			if !done[a.To] {
+				if d := dist[u] + a.W; d < dist[a.To] {
+					dist[a.To] = d
+					from[a.To] = u
+					fromW[a.To] = a.W
+					heap.Push(h, sptItem{node: a.To, dist: d})
+				}
+			}
+		}
+	}
+	return t
+}
+
+// ConstrainedKruskal computes a minimal spanning tree over n nodes that
+// includes every edge in include and avoids every edge whose key is in
+// exclude. sorted must be the full candidate edge list in nondecreasing
+// weight order. It reports false when no such spanning tree exists (the
+// inclusions form a cycle, or the remaining edges cannot connect the
+// graph).
+func ConstrainedKruskal(n int, sorted []graph.Edge, include []graph.Edge, exclude map[graph.Key]bool) (*graph.Tree, bool) {
+	t := graph.NewTree(n)
+	if n <= 1 {
+		return t, len(include) == 0
+	}
+	ds := graph.NewDisjointSet(n)
+	for _, e := range include {
+		if !ds.Union(e.U, e.V) {
+			return nil, false // inclusion set contains a cycle
+		}
+		t.Edges = append(t.Edges, e)
+	}
+	if len(t.Edges) > n-1 {
+		return nil, false
+	}
+	included := make(map[graph.Key]bool, len(include))
+	for _, e := range include {
+		included[e.Key()] = true
+	}
+	for _, e := range sorted {
+		if len(t.Edges) == n-1 {
+			break
+		}
+		k := e.Key()
+		if exclude[k] || included[k] {
+			continue
+		}
+		if ds.Union(e.U, e.V) {
+			t.Edges = append(t.Edges, e)
+		}
+	}
+	if len(t.Edges) != n-1 {
+		return nil, false
+	}
+	return t, true
+}

@@ -1,0 +1,161 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// CongestionMap estimates routing demand: the chip is divided into a
+// grid of global routing cells (gcells) and every routed wire adds one
+// unit of demand to each gcell its rectilinear embedding crosses. Tree
+// edges are embedded as L-shapes with the corner on the source side,
+// matching how the trees would be laid down in two-layer HV routing.
+type CongestionMap struct {
+	Cols, Rows int
+	BBox       geom.BBox
+	Demand     []int // row-major gcell demand
+}
+
+// NewCongestionMap rasterizes a routed design onto a cols x rows gcell
+// grid covering the netlist's bounding box.
+func NewCongestionMap(nl *Netlist, res *Result, cols, rows int) (*CongestionMap, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("router: invalid gcell grid %dx%d", cols, rows)
+	}
+	if len(nl.Nets) != len(res.Nets) {
+		return nil, fmt.Errorf("router: result does not match netlist (%d vs %d nets)",
+			len(res.Nets), len(nl.Nets))
+	}
+	bb, err := nl.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	cm := &CongestionMap{Cols: cols, Rows: rows, BBox: bb, Demand: make([]int, cols*rows)}
+	for i, n := range nl.Nets {
+		src := n.In.Source()
+		for _, e := range res.Nets[i].Tree.Edges {
+			p, q := n.In.Point(e.U), n.In.Point(e.V)
+			cm.addEdge(p, q, src)
+		}
+	}
+	return cm, nil
+}
+
+// addEdge rasterizes the L-shaped embedding of the wire p-q, corner
+// chosen nearer the net's source.
+func (cm *CongestionMap) addEdge(p, q, src geom.Point) {
+	c1 := geom.Point{X: p.X, Y: q.Y}
+	c2 := geom.Point{X: q.X, Y: p.Y}
+	corner := c1
+	if geom.Manhattan.Dist(c2, src) < geom.Manhattan.Dist(c1, src) {
+		corner = c2
+	}
+	cm.addSegment(p, corner)
+	cm.addSegment(corner, q)
+}
+
+// addSegment adds demand along an axis-aligned segment.
+func (cm *CongestionMap) addSegment(a, b geom.Point) {
+	if a == b {
+		return
+	}
+	switch {
+	case a.Y == b.Y: // horizontal
+		row := cm.rowOf(a.Y)
+		c0, c1 := cm.colOf(min(a.X, b.X)), cm.colOf(max(a.X, b.X))
+		for c := c0; c <= c1; c++ {
+			cm.Demand[row*cm.Cols+c]++
+		}
+	case a.X == b.X: // vertical
+		col := cm.colOf(a.X)
+		r0, r1 := cm.rowOf(min(a.Y, b.Y)), cm.rowOf(max(a.Y, b.Y))
+		for r := r0; r <= r1; r++ {
+			cm.Demand[r*cm.Cols+col]++
+		}
+	default:
+		// diagonal segments do not occur: addEdge always splits into
+		// axis-aligned legs
+		panic("router: non-rectilinear segment")
+	}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (cm *CongestionMap) colOf(x float64) int {
+	w := cm.BBox.Width()
+	if w == 0 {
+		return 0
+	}
+	c := int(float64(cm.Cols) * (x - cm.BBox.MinX) / w)
+	if c < 0 {
+		c = 0
+	}
+	if c >= cm.Cols {
+		c = cm.Cols - 1
+	}
+	return c
+}
+
+func (cm *CongestionMap) rowOf(y float64) int {
+	h := cm.BBox.Height()
+	if h == 0 {
+		return 0
+	}
+	r := int(float64(cm.Rows) * (y - cm.BBox.MinY) / h)
+	if r < 0 {
+		r = 0
+	}
+	if r >= cm.Rows {
+		r = cm.Rows - 1
+	}
+	return r
+}
+
+// At returns the demand of gcell (col, row).
+func (cm *CongestionMap) At(col, row int) int {
+	return cm.Demand[row*cm.Cols+col]
+}
+
+// MaxDemand returns the most congested gcell's demand.
+func (cm *CongestionMap) MaxDemand() int {
+	m := 0
+	for _, d := range cm.Demand {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanDemand returns the average gcell demand.
+func (cm *CongestionMap) MeanDemand() float64 {
+	var s int
+	for _, d := range cm.Demand {
+		s += d
+	}
+	return float64(s) / float64(len(cm.Demand))
+}
+
+// Overflow counts gcells whose demand exceeds the given capacity.
+func (cm *CongestionMap) Overflow(capacity int) int {
+	n := 0
+	for _, d := range cm.Demand {
+		if d > capacity {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+package router
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadNetlist checks the netlist parser never panics and that
+// accepted netlists round-trip through WriteNetlist.
+func FuzzReadNetlist(f *testing.F) {
+	f.Add("net a\nsource 0 0\nsink 1 2\nend\n")
+	f.Add("# c\nnet x\nsource -1 2e3\nsink 0 0\nsink 7 7\nend\nnet y\nsource 1 1\nsink 2 2\nend\n")
+	f.Add("net a\nsource 0 0\nsink nan nan\nend\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		nl, err := ReadNetlist(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(nl.Nets) == 0 {
+			t.Fatal("accepted empty netlist")
+		}
+		var buf bytes.Buffer
+		if err := WriteNetlist(&buf, nl); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadNetlist(&buf)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v\nwritten: %q", err, buf.String())
+		}
+		if len(back.Nets) != len(nl.Nets) {
+			t.Fatal("round-trip changed net count")
+		}
+	})
+}

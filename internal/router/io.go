@@ -1,0 +1,122 @@
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/inst"
+)
+
+// WriteNetlist serializes a netlist in the repository's text format:
+//
+//	# comments
+//	net <name>
+//	source <x> <y>
+//	sink <x> <y>
+//	end
+//
+// All nets use the Manhattan metric in this format (the global routing
+// context is rectilinear).
+func WriteNetlist(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# netlist: %d nets\n", len(nl.Nets))
+	for _, n := range nl.Nets {
+		fmt.Fprintf(bw, "net %s\n", n.Name)
+		s := n.In.Source()
+		fmt.Fprintf(bw, "source %g %g\n", s.X, s.Y)
+		for _, p := range n.In.Sinks() {
+			fmt.Fprintf(bw, "sink %g %g\n", p.X, p.Y)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// ReadNetlist parses the text format written by WriteNetlist.
+func ReadNetlist(r io.Reader) (*Netlist, error) {
+	nl := &Netlist{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var (
+		name      string
+		inNet     bool
+		hasSource bool
+		source    geom.Point
+		sinks     []geom.Point
+	)
+	finish := func() error {
+		if !hasSource {
+			return fmt.Errorf("router: net %q has no source", name)
+		}
+		in, err := inst.New(source, sinks, geom.Manhattan)
+		if err != nil {
+			return fmt.Errorf("router: net %q: %w", name, err)
+		}
+		nl.Add(name, in)
+		inNet, hasSource, sinks = false, false, nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "net":
+			if inNet {
+				return nil, fmt.Errorf("router: line %d: nested net", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("router: line %d: net needs a name", lineNo)
+			}
+			name = fields[1]
+			inNet = true
+		case "source", "sink":
+			if !inNet {
+				return nil, fmt.Errorf("router: line %d: %s outside a net", lineNo, fields[0])
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("router: line %d: %s needs x y", lineNo, fields[0])
+			}
+			x, errX := strconv.ParseFloat(fields[1], 64)
+			y, errY := strconv.ParseFloat(fields[2], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("router: line %d: bad coordinates", lineNo)
+			}
+			if fields[0] == "source" {
+				if hasSource {
+					return nil, fmt.Errorf("router: line %d: duplicate source", lineNo)
+				}
+				source = geom.Point{X: x, Y: y}
+				hasSource = true
+			} else {
+				sinks = append(sinks, geom.Point{X: x, Y: y})
+			}
+		case "end":
+			if !inNet {
+				return nil, fmt.Errorf("router: line %d: end outside a net", lineNo)
+			}
+			if err := finish(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("router: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inNet {
+		return nil, fmt.Errorf("router: unterminated net %q", name)
+	}
+	if len(nl.Nets) == 0 {
+		return nil, fmt.Errorf("router: no nets")
+	}
+	return nl, nil
+}

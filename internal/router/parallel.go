@@ -1,0 +1,74 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// RouteParallel routes the netlist with the policy across the given
+// number of workers (0 = GOMAXPROCS). Nets are independent, so results
+// are identical to Route; only wall-clock changes. The first error
+// aborts the run.
+func RouteParallel(nl *Netlist, p Policy, workers int) (*Result, error) {
+	if len(nl.Nets) == 0 {
+		return nil, fmt.Errorf("router: empty netlist")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nl.Nets) {
+		workers = len(nl.Nets)
+	}
+
+	results := make([]NetResult, len(nl.Nets))
+	errs := make([]error, len(nl.Nets))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				n := nl.Nets[i]
+				t, err := p.Build(n.In)
+				if err != nil {
+					errs[i] = fmt.Errorf("router: net %q: %w", n.Name, err)
+					continue
+				}
+				r := n.In.R()
+				radius := t.Radius(0)
+				ratio := math.Inf(1)
+				if r > 0 {
+					ratio = radius / r
+				}
+				results[i] = NetResult{
+					Name: n.Name, Tree: t,
+					Cost: t.Cost(), Radius: radius, R: r, PathRatio: ratio,
+				}
+			}
+		}()
+	}
+	for i := range nl.Nets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Policy: p.Name}
+	var ratioSum float64
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Nets = append(res.Nets, results[i])
+		res.TotalCost += results[i].Cost
+		ratioSum += results[i].PathRatio
+		if results[i].PathRatio > res.WorstPathRatio {
+			res.WorstPathRatio = results[i].PathRatio
+		}
+	}
+	res.MeanPathRatio = ratioSum / float64(len(res.Nets))
+	return res, nil
+}

@@ -1,0 +1,283 @@
+package router
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/mst"
+)
+
+var errSentinel = errors.New("boom")
+
+func smallNetlist() *Netlist {
+	nl := &Netlist{}
+	nl.Add("n1", inst.MustNew(geom.Point{X: 0, Y: 0},
+		[]geom.Point{{X: 10, Y: 0}, {X: 5, Y: 5}}, geom.Manhattan))
+	nl.Add("n2", inst.MustNew(geom.Point{X: 20, Y: 20},
+		[]geom.Point{{X: 25, Y: 20}, {X: 20, Y: 28}, {X: 30, Y: 30}}, geom.Manhattan))
+	return nl
+}
+
+func randomNetlist(rng *rand.Rand, nets int) *Netlist {
+	nl := &Netlist{}
+	for i := 0; i < nets; i++ {
+		sinks := make([]geom.Point, 2+rng.Intn(6))
+		for j := range sinks {
+			sinks[j] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		src := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		nl.Add("n", inst.MustNew(src, sinks, geom.Manhattan))
+	}
+	return nl
+}
+
+func TestRoutePolicies(t *testing.T) {
+	nl := smallNetlist()
+	for _, p := range []Policy{MSTPolicy(), SPTPolicy(), BKRUSPolicy(0.2), AHHKPolicy(0.5)} {
+		res, err := Route(nl, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(res.Nets) != 2 {
+			t.Fatalf("%s: %d nets routed", p.Name, len(res.Nets))
+		}
+		if res.TotalCost <= 0 {
+			t.Errorf("%s: total cost %v", p.Name, res.TotalCost)
+		}
+		for _, nr := range res.Nets {
+			if err := nr.Tree.Validate(); err != nil {
+				t.Errorf("%s net %s: %v", p.Name, nr.Name, err)
+			}
+		}
+	}
+}
+
+func TestRouteQualityOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nl := randomNetlist(rng, 30)
+	mstRes, err := Route(nl, MSTPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sptRes, err := Route(nl, SPTPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkRes, err := Route(nl, BKRUSPolicy(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mstRes.TotalCost <= bkRes.TotalCost+1e-9 && bkRes.TotalCost <= sptRes.TotalCost+1e-9) {
+		t.Errorf("cost ordering broken: mst %v, bkrus %v, spt %v",
+			mstRes.TotalCost, bkRes.TotalCost, sptRes.TotalCost)
+	}
+	if sptRes.WorstPathRatio > 1+1e-9 {
+		t.Errorf("SPT worst path ratio %v", sptRes.WorstPathRatio)
+	}
+	if bkRes.WorstPathRatio > 1.2+1e-9 {
+		t.Errorf("BKRUS(0.2) worst ratio %v above its bound", bkRes.WorstPathRatio)
+	}
+}
+
+func TestRouteEmptyNetlist(t *testing.T) {
+	if _, err := Route(&Netlist{}, MSTPolicy()); err == nil {
+		t.Error("empty netlist accepted")
+	}
+}
+
+func TestNetlistIORoundtrip(t *testing.T) {
+	nl := smallNetlist()
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nets) != len(nl.Nets) {
+		t.Fatalf("net count %d vs %d", len(back.Nets), len(nl.Nets))
+	}
+	for i := range nl.Nets {
+		if back.Nets[i].Name != nl.Nets[i].Name {
+			t.Errorf("net %d name %q vs %q", i, back.Nets[i].Name, nl.Nets[i].Name)
+		}
+		if back.Nets[i].In.N() != nl.Nets[i].In.N() {
+			t.Errorf("net %d terminals %d vs %d", i, back.Nets[i].In.N(), nl.Nets[i].In.N())
+		}
+		if back.Nets[i].In.Source() != nl.Nets[i].In.Source() {
+			t.Errorf("net %d source moved", i)
+		}
+	}
+}
+
+func TestReadNetlistErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // no nets
+		"net a\nsource 0 0\nsink 1 1\n",      // unterminated
+		"source 0 0\n",                       // outside net
+		"net a\nnet b\n",                     // nested
+		"net a\nsink 1 1\nend\n",             // no source
+		"net a\nsource 0 0\nend\n",           // no sinks
+		"net a\nsource 0 0\nsource 1 1\nend", // duplicate source
+		"net a\nsource x y\nsink 1 1\nend\n", // bad floats
+		"net\nsource 0 0\nsink 1 1\nend\n",   // missing name
+		"net a\nwarp 1 2\nend\n",             // unknown directive
+		"net a\nsource 0 0\nsink 1\nend\n",   // arity
+		"end\n",                              // end outside net
+	}
+	for i, c := range cases {
+		if _, err := ReadNetlist(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestCongestionMap(t *testing.T) {
+	nl := &Netlist{}
+	// one horizontal two-pin net spanning the whole region
+	nl.Add("h", inst.MustNew(geom.Point{X: 0, Y: 0},
+		[]geom.Point{{X: 100, Y: 0}}, geom.Manhattan))
+	res, err := Route(nl, MSTPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCongestionMap(nl, res, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the single wire crosses every column of the single row
+	for c := 0; c < 10; c++ {
+		if cm.At(c, 0) != 1 {
+			t.Errorf("col %d demand %d, want 1", c, cm.At(c, 0))
+		}
+	}
+	if cm.MaxDemand() != 1 || cm.MeanDemand() != 1 {
+		t.Errorf("max/mean = %d/%v", cm.MaxDemand(), cm.MeanDemand())
+	}
+	if cm.Overflow(0) != 10 || cm.Overflow(1) != 0 {
+		t.Errorf("overflow counts wrong: %d %d", cm.Overflow(0), cm.Overflow(1))
+	}
+}
+
+func TestCongestionLCorner(t *testing.T) {
+	nl := &Netlist{}
+	// a single diagonal two-pin net: must rasterize as an L, not a diagonal
+	nl.Add("d", inst.MustNew(geom.Point{X: 0, Y: 0},
+		[]geom.Point{{X: 100, Y: 100}}, geom.Manhattan))
+	res, err := Route(nl, MSTPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCongestionMap(nl, res, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// total demand = cells on one horizontal leg + one vertical leg
+	var total int
+	for _, d := range cm.Demand {
+		total += d
+	}
+	if total < 7 || total > 8 { // 4 + 4 with the corner maybe double-counted
+		t.Errorf("L rasterization covered %d cells, want 7-8", total)
+	}
+}
+
+func TestCongestionValidation(t *testing.T) {
+	nl := smallNetlist()
+	res, err := Route(nl, MSTPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCongestionMap(nl, res, 0, 5); err == nil {
+		t.Error("zero columns accepted")
+	}
+	other := &Netlist{}
+	other.Add("x", inst.MustNew(geom.Point{}, []geom.Point{{X: 1, Y: 1}}, geom.Manhattan))
+	if _, err := NewCongestionMap(other, res, 4, 4); err == nil {
+		t.Error("mismatched result accepted")
+	}
+}
+
+// Bounded routing spreads wires compared to the SPT star: on a design of
+// many nets sharing a center region, the SPT's direct spokes pile into
+// the middle gcells.
+func TestCongestionSPTvsBKRUS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nl := &Netlist{}
+	for i := 0; i < 20; i++ {
+		sinks := make([]geom.Point, 6)
+		for j := range sinks {
+			sinks[j] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		nl.Add("n", inst.MustNew(geom.Point{X: 50, Y: 50}, sinks, geom.Manhattan))
+	}
+	sptRes, _ := Route(nl, SPTPolicy())
+	bkRes, _ := Route(nl, BKRUSPolicy(0.5))
+	sptCm, err := NewCongestionMap(nl, sptRes, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkCm, err := NewCongestionMap(nl, bkRes, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bkCm.MaxDemand() > sptCm.MaxDemand() {
+		t.Errorf("BKRUS peak congestion %d above SPT %d on a shared-center design",
+			bkCm.MaxDemand(), sptCm.MaxDemand())
+	}
+}
+
+func TestNetlistBoundsEmpty(t *testing.T) {
+	if _, err := (&Netlist{}).Bounds(); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestRouteParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nl := randomNetlist(rng, 40)
+	seq, err := Route(nl, BKRUSPolicy(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		par, err := RouteParallel(nl, BKRUSPolicy(0.3), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.TotalCost != seq.TotalCost {
+			t.Errorf("workers=%d: total %v vs %v", workers, par.TotalCost, seq.TotalCost)
+		}
+		if par.WorstPathRatio != seq.WorstPathRatio {
+			t.Errorf("workers=%d: worst ratio differs", workers)
+		}
+		for i := range seq.Nets {
+			if par.Nets[i].Cost != seq.Nets[i].Cost {
+				t.Errorf("workers=%d: net %d cost differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestRouteParallelPropagatesError(t *testing.T) {
+	nl := smallNetlist()
+	bad := Policy{Name: "bad", Build: func(in *inst.Instance) (*graph.Tree, error) {
+		if in.NumSinks() == 3 {
+			return nil, errSentinel
+		}
+		return mst.Kruskal(in.DistMatrix()), nil
+	}}
+	if _, err := RouteParallel(nl, bad, 2); err == nil {
+		t.Error("policy error not propagated")
+	}
+	if _, err := RouteParallel(&Netlist{}, MSTPolicy(), 2); err == nil {
+		t.Error("empty netlist accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Package stats provides the tiny summary-statistics accumulator used by
+// the experiment harness: Table 4 reports min/average/max cost ratios
+// over 50 random cases per configuration.
+package stats
+
+import "math"
+
+// Acc accumulates min/max/mean of a stream of values. The zero value is
+// ready to use.
+type Acc struct {
+	n   int
+	sum float64
+	min float64
+	max float64
+}
+
+// Add folds v into the accumulator.
+func (a *Acc) Add(v float64) {
+	if a.n == 0 {
+		a.min, a.max = v, v
+	} else {
+		a.min = math.Min(a.min, v)
+		a.max = math.Max(a.max, v)
+	}
+	a.sum += v
+	a.n++
+}
+
+// N returns the number of values added.
+func (a *Acc) N() int { return a.n }
+
+// Min returns the smallest value added, or NaN if empty.
+func (a *Acc) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest value added, or NaN if empty.
+func (a *Acc) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Mean returns the average of the values added, or NaN if empty.
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sum / float64(a.n)
+}
+
+// Sum returns the total of the values added.
+func (a *Acc) Sum() float64 { return a.sum }

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Sum() != 0 {
+		t.Error("zero value not empty")
+	}
+	if !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) || !math.IsNaN(a.Mean()) {
+		t.Error("empty accumulator should return NaN summaries")
+	}
+}
+
+func TestAccKnown(t *testing.T) {
+	var a Acc
+	for _, v := range []float64{3, 1, 2} {
+		a.Add(v)
+	}
+	if a.N() != 3 || a.Min() != 1 || a.Max() != 3 || a.Mean() != 2 || a.Sum() != 6 {
+		t.Errorf("summaries wrong: n=%d min=%v max=%v mean=%v sum=%v",
+			a.N(), a.Min(), a.Max(), a.Mean(), a.Sum())
+	}
+}
+
+func TestAccSingle(t *testing.T) {
+	var a Acc
+	a.Add(-5)
+	if a.Min() != -5 || a.Max() != -5 || a.Mean() != -5 {
+		t.Error("single value summaries wrong")
+	}
+}
+
+// Property: min <= mean <= max and they match a brute-force recomputation.
+func TestAccProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var a Acc
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+			a.Add(vals[i])
+		}
+		mn, mx, sum := vals[0], vals[0], 0.0
+		for _, v := range vals {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+			sum += v
+		}
+		if a.Min() != mn || a.Max() != mx {
+			return false
+		}
+		if math.Abs(a.Mean()-sum/float64(n)) > 1e-9 {
+			return false
+		}
+		return a.Min() <= a.Mean()+1e-12 && a.Mean() <= a.Max()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

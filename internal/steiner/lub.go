@@ -1,0 +1,102 @@
+package steiner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/inst"
+)
+
+// BKSTLU constructs a rectilinear Steiner tree whose source-sink path
+// lengths all lie in [eps1·R, (1+eps2)·R] — the paper's §8 "lower and
+// upper bounded Steiner trees" future-work item, built by extending the
+// BKST feasibility tests the same way §6 extends BKRUS:
+//
+//   - a merge into the source tree must keep every newly attached
+//     terminal sink at least eps1·R from the source (Steiner points are
+//     exempt: only real sinks latch data);
+//   - the witness for a source-free merge must additionally satisfy
+//     dist(S,x) ≥ eps1·R, so the direct completion through it respects
+//     the lower bound for every carried node.
+//
+// Like the spanning LUB construction, tight windows can be infeasible;
+// ErrInfeasible is returned then.
+func BKSTLU(in *inst.Instance, eps1, eps2 float64) (*SteinerTree, error) {
+	if eps1 < 0 || eps2 < 0 {
+		return nil, fmt.Errorf("steiner: negative eps1/eps2 %g/%g", eps1, eps2)
+	}
+	return BKSTBounds(in, core.LowerUpper(in, eps1, eps2))
+}
+
+// BKSTBounds runs the bounded Kruskal Steiner construction for an
+// arbitrary absolute bound window.
+func BKSTBounds(in *inst.Instance, bounds core.Bounds) (*SteinerTree, error) {
+	if err := bounds.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Metric() != geom.Manhattan {
+		return nil, fmt.Errorf("steiner: BKST requires the Manhattan metric, got %v", in.Metric())
+	}
+	b := newBuilder(in, bounds.Upper)
+	b.lower = bounds.Lower
+	b.run()
+	st := &SteinerTree{grid: b.g, edges: b.edges}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("steiner: internal error: %w", err)
+	}
+	for t, d := range st.PathLengths() {
+		if t == 0 {
+			continue
+		}
+		if !b.within(d) || !b.aboveLower(d) {
+			return nil, ErrInfeasible
+		}
+	}
+	return st, nil
+}
+
+// BKSTPlanar constructs a bounded path length Steiner tree that never
+// crosses its own wires — the paper's §8 "preserving planarity"
+// future-work item. The standard BKST may, as a last resort, route a
+// direct attachment over existing wires on another layer; the planar
+// variant forbids that, returning ErrNotPlanar when a detached terminal
+// is walled in, or ErrInfeasible when the only planar completions break
+// the bound.
+func BKSTPlanar(in *inst.Instance, eps float64) (*SteinerTree, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("steiner: negative eps %g", eps)
+	}
+	if in.Metric() != geom.Manhattan {
+		return nil, fmt.Errorf("steiner: BKST requires the Manhattan metric, got %v", in.Metric())
+	}
+	b := newBuilder(in, in.Bound(eps))
+	b.planar = true
+	b.run()
+	if b.notPlanar {
+		return nil, ErrNotPlanar
+	}
+	st := &SteinerTree{grid: b.g, edges: b.edges}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("steiner: internal error: %w", err)
+	}
+	if !b.within(st.Radius()) {
+		return nil, ErrInfeasible
+	}
+	return st, nil
+}
+
+// IsPlanarEmbedding reports whether every edge of the tree is a unit
+// grid step (no layered jumpers), i.e. the embedding never crosses
+// wires.
+func IsPlanarEmbedding(st *SteinerTree) bool {
+	g := st.Grid()
+	for _, e := range st.Edges() {
+		dc := g.Col(e.U) - g.Col(e.V)
+		dr := g.Row(e.U) - g.Row(e.V)
+		if dc*dc+dr*dr != 1 {
+			return false
+		}
+	}
+	return true
+}

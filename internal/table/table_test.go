@@ -1,0 +1,63 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tb := New("Demo", "name", "ratio", "n")
+	tb.AddRow("p1", 1.23456, 6)
+	tb.AddRow("p2", 2.0)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "name", "ratio", "p1", "1.235", "p2", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow(1)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "=") {
+		t.Error("untitled table should not render a title rule")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.AddRow(1.5, "hi")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1.5,hi\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestExtraCellsDropped(t *testing.T) {
+	tb := New("", "only")
+	tb.AddRow("a", "b", "c")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "b") {
+		t.Error("extra cells should be dropped")
+	}
+}

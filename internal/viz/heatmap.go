@@ -1,0 +1,62 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// HeatGrid is the minimal view of a congestion map the heatmap renderer
+// needs; internal/router's CongestionMap satisfies it.
+type HeatGrid interface {
+	At(col, row int) int
+	MaxDemand() int
+}
+
+// Heatmap renders a gcell demand grid as an SVG heatmap: white for idle
+// cells through saturated red for the most congested cell, with cell
+// demand values overlaid when the grid is small enough to read.
+func Heatmap(w io.Writer, g HeatGrid, cols, rows int, style Style) error {
+	if cols <= 0 || rows <= 0 {
+		return fmt.Errorf("viz: invalid heatmap grid %dx%d", cols, rows)
+	}
+	cell := (float64(style.Width) - 2*style.Margin) / float64(cols)
+	width := float64(style.Width)
+	height := cell*float64(rows) + 2*style.Margin
+	maxD := g.MaxDemand()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			d := g.At(c, r)
+			x := style.Margin + float64(c)*cell
+			// flip rows so row 0 (lowest y) renders at the bottom
+			y := style.Margin + float64(rows-1-r)*cell
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+				x, y, cell, cell, heatColor(d, maxD))
+			if cols <= 24 && rows <= 24 {
+				fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="%.1f" text-anchor="middle" fill="#333">%d</text>`+"\n",
+					x+cell/2, y+cell/2+3, cell/3, d)
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// heatColor maps demand onto a white-to-red ramp.
+func heatColor(d, maxD int) string {
+	if maxD == 0 || d == 0 {
+		return "#ffffff"
+	}
+	f := float64(d) / float64(maxD)
+	// white (255,255,255) -> red (214,39,40)
+	r := 255 - int(f*float64(255-214))
+	g := 255 - int(f*float64(255-39))
+	b := 255 - int(f*float64(255-40))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}

@@ -1,0 +1,146 @@
+// Package viz renders routing trees as standalone SVG documents, so the
+// constructions can be inspected visually: terminals, the source, tree
+// edges (as L-shaped rectilinear wires for Manhattan nets), Steiner
+// segments, and an optional Hanan grid underlay.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/steiner"
+)
+
+// Style controls the rendered appearance. The zero value is unusable;
+// start from DefaultStyle.
+type Style struct {
+	Width     int     // canvas width in pixels
+	Margin    float64 // canvas margin in pixels
+	WireColor string
+	WireWidth float64
+	SinkColor string
+	SinkR     float64
+	SrcColor  string
+	SrcR      float64
+	GridColor string // Hanan grid underlay ("" = none)
+	Rectilin  bool   // draw spanning edges as L-shapes instead of straight lines
+}
+
+// DefaultStyle returns a readable default appearance.
+func DefaultStyle() Style {
+	return Style{
+		Width:     640,
+		Margin:    24,
+		WireColor: "#1f77b4",
+		WireWidth: 2,
+		SinkColor: "#d62728",
+		SinkR:     4,
+		SrcColor:  "#2ca02c",
+		SrcR:      6,
+	}
+}
+
+// transform maps plane coordinates onto the SVG canvas.
+type transform struct {
+	scale         float64
+	dx, dy        float64
+	width, height float64
+}
+
+func newTransform(b geom.BBox, style Style) transform {
+	w := math.Max(b.Width(), 1e-9)
+	h := math.Max(b.Height(), 1e-9)
+	inner := float64(style.Width) - 2*style.Margin
+	scale := inner / w
+	if hScale := inner / h; hScale < scale {
+		scale = hScale
+	}
+	return transform{
+		scale:  scale,
+		dx:     style.Margin - b.MinX*scale,
+		dy:     style.Margin + b.MaxY*scale, // flip y: SVG grows downward
+		width:  w*scale + 2*style.Margin,
+		height: h*scale + 2*style.Margin,
+	}
+}
+
+func (t transform) x(v float64) float64 { return t.dx + v*t.scale }
+func (t transform) y(v float64) float64 { return t.dy - v*t.scale }
+
+// Tree renders a spanning tree over the instance's terminals.
+func Tree(w io.Writer, in *inst.Instance, tr *graph.Tree, style Style) error {
+	tf := newTransform(geom.Bounds(in.Points()), style)
+	var b strings.Builder
+	openSVG(&b, tf)
+	for _, e := range tr.Edges {
+		p, q := in.Point(e.U), in.Point(e.V)
+		if style.Rectilin && in.Metric() == geom.Manhattan && p.X != q.X && p.Y != q.Y {
+			corner := geom.Point{X: p.X, Y: q.Y}
+			wire(&b, tf, p, corner, style)
+			wire(&b, tf, corner, q, style)
+		} else {
+			wire(&b, tf, p, q, style)
+		}
+	}
+	terminals(&b, tf, in, style)
+	closeSVG(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Steiner renders a Steiner tree with its grid segments, optionally over
+// the Hanan grid.
+func Steiner(w io.Writer, in *inst.Instance, st *steiner.SteinerTree, style Style) error {
+	tf := newTransform(geom.Bounds(in.Points()), style)
+	var b strings.Builder
+	openSVG(&b, tf)
+	g := st.Grid()
+	if style.GridColor != "" {
+		for _, x := range g.Xs {
+			line(&b, tf, geom.Point{X: x, Y: g.Ys[0]}, geom.Point{X: x, Y: g.Ys[len(g.Ys)-1]}, style.GridColor, 0.5)
+		}
+		for _, y := range g.Ys {
+			line(&b, tf, geom.Point{X: g.Xs[0], Y: y}, geom.Point{X: g.Xs[len(g.Xs)-1], Y: y}, style.GridColor, 0.5)
+		}
+	}
+	for _, e := range st.Edges() {
+		wire(&b, tf, g.Coord(e.U), g.Coord(e.V), style)
+	}
+	terminals(&b, tf, in, style)
+	closeSVG(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func openSVG(b *strings.Builder, tf transform) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		tf.width, tf.height, tf.width, tf.height)
+	fmt.Fprintf(b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+}
+
+func closeSVG(b *strings.Builder) { b.WriteString("</svg>\n") }
+
+func wire(b *strings.Builder, tf transform, p, q geom.Point, style Style) {
+	line(b, tf, p, q, style.WireColor, style.WireWidth)
+}
+
+func line(b *strings.Builder, tf transform, p, q geom.Point, color string, width float64) {
+	fmt.Fprintf(b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f" stroke-linecap="round"/>`+"\n",
+		tf.x(p.X), tf.y(p.Y), tf.x(q.X), tf.y(q.Y), color, width)
+}
+
+func terminals(b *strings.Builder, tf transform, in *inst.Instance, style Style) {
+	for i := 1; i < in.N(); i++ {
+		p := in.Point(i)
+		fmt.Fprintf(b, `<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s"/>`+"\n",
+			tf.x(p.X), tf.y(p.Y), style.SinkR, style.SinkColor)
+	}
+	s := in.Source()
+	fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		tf.x(s.X)-style.SrcR, tf.y(s.Y)-style.SrcR, 2*style.SrcR, 2*style.SrcR, style.SrcColor)
+}

@@ -1,0 +1,70 @@
+package bpmst
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// treeJSON is the interchange schema for a routed spanning tree.
+type treeJSON struct {
+	Metric    string    `json:"metric"`
+	Source    Point     `json:"source"`
+	Sinks     []Point   `json:"sinks"`
+	Edges     []Edge    `json:"edges"`
+	Cost      float64   `json:"cost"`
+	Radius    float64   `json:"radius"`
+	R         float64   `json:"r"`
+	PathLens  []float64 `json:"path_lengths"`
+	PathRatio float64   `json:"path_ratio"`
+}
+
+// WriteJSON serializes the tree with its net and quality metrics as a
+// single JSON document, for downstream tools.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	doc := treeJSON{
+		Metric:    t.net.Metric().String(),
+		Source:    t.net.Source(),
+		Sinks:     t.net.Sinks(),
+		Edges:     t.Edges(),
+		Cost:      t.Cost(),
+		Radius:    t.Radius(),
+		R:         t.net.R(),
+		PathLens:  t.PathLengths(),
+		PathRatio: t.PathRatio(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// steinerJSON is the interchange schema for a Steiner tree.
+type steinerJSON struct {
+	Metric   string           `json:"metric"`
+	Source   Point            `json:"source"`
+	Sinks    []Point          `json:"sinks"`
+	Segments []SteinerSegment `json:"segments"`
+	Cost     float64          `json:"cost"`
+	Radius   float64          `json:"radius"`
+	R        float64          `json:"r"`
+	PathLens []float64        `json:"path_lengths"`
+	Planar   bool             `json:"planar"`
+}
+
+// WriteJSON serializes the Steiner tree with its wire segments and
+// quality metrics.
+func (s *SteinerTree) WriteJSON(w io.Writer) error {
+	doc := steinerJSON{
+		Metric:   s.net.Metric().String(),
+		Source:   s.net.Source(),
+		Sinks:    s.net.Sinks(),
+		Segments: s.Segments(),
+		Cost:     s.Cost(),
+		Radius:   s.Radius(),
+		R:        s.net.R(),
+		PathLens: s.PathLengths(),
+		Planar:   s.IsPlanar(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,62 @@
+package bpmst
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestTreeWriteJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := randomNet(rng, 6, 100)
+	tree, err := BKRUS(n, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["metric"] != "Manhattan" {
+		t.Errorf("metric = %v", doc["metric"])
+	}
+	if edges := doc["edges"].([]interface{}); len(edges) != n.NumSinks() {
+		t.Errorf("edges = %d", len(edges))
+	}
+	if doc["cost"].(float64) != tree.Cost() {
+		t.Error("cost mismatch")
+	}
+	if pl := doc["path_lengths"].([]interface{}); len(pl) != n.NumSinks()+1 {
+		t.Error("path_lengths length wrong")
+	}
+}
+
+func TestSteinerWriteJSON(t *testing.T) {
+	n, err := NewNet(Point{}, []Point{{X: 2, Y: 0}, {X: 1, Y: 2}, {X: 1, Y: -2}}, Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := BKST(n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["planar"] != true {
+		t.Errorf("planar = %v", doc["planar"])
+	}
+	if segs := doc["segments"].([]interface{}); len(segs) == 0 {
+		t.Error("no segments")
+	}
+}

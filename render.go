@@ -1,0 +1,24 @@
+package bpmst
+
+import (
+	"io"
+
+	"repro/internal/viz"
+)
+
+// WriteSVG renders the tree as a standalone SVG document: sinks as red
+// dots, the source as a green square, and wires as blue rectilinear
+// segments (L-shapes for Manhattan nets).
+func (t *Tree) WriteSVG(w io.Writer) error {
+	style := viz.DefaultStyle()
+	style.Rectilin = t.net.Metric() == Manhattan
+	return viz.Tree(w, t.net.in, t.t, style)
+}
+
+// WriteSVG renders the Steiner tree with its wire segments over a faint
+// Hanan grid underlay.
+func (s *SteinerTree) WriteSVG(w io.Writer) error {
+	style := viz.DefaultStyle()
+	style.GridColor = "#e8e8e8"
+	return viz.Steiner(w, s.net.in, s.st, style)
+}

@@ -1,0 +1,46 @@
+package bpmst
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTreeWriteSVG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := randomNet(rng, 8, 100)
+	tree, err := BKRUS(n, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Error("missing svg root")
+	}
+	if strings.Count(out, "<circle") != n.NumSinks() {
+		t.Errorf("want %d sink markers", n.NumSinks())
+	}
+}
+
+func TestSteinerWriteSVG(t *testing.T) {
+	n, err := NewNet(Point{}, []Point{{X: 2, Y: 0}, {X: 1, Y: 2}, {X: 1, Y: -2}}, Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := BKST(n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#e8e8e8") {
+		t.Error("Hanan grid underlay missing")
+	}
+}
