@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench quick experiments examples cover fuzz clean
+.PHONY: all build test vet race bench quick experiments examples cover fuzz metrics-smoke clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# the whole suite under the race detector (the obs layer and the
+# parallel router are the concurrency-heavy parts)
+race:
+	$(GO) test -race ./...
 
 # full benchmark sweep, including the per-table/figure harness benches
 bench:
@@ -40,6 +45,12 @@ cover:
 fuzz:
 	$(GO) test -fuzz FuzzReadInstance -fuzztime 30s ./internal/bench/
 	$(GO) test -fuzz FuzzReadNetlist -fuzztime 30s ./internal/router/
+
+# end-to-end check of the -metrics pipeline: run one construction with
+# a metrics snapshot and verify the output is valid JSON with scopes
+metrics-smoke:
+	$(GO) run ./cmd/bmstree -algo bkrus -eps 0.2 -bench p3 -quiet -metrics /tmp/bmstree-metrics.json
+	$(GO) run ./tools/checkmetrics /tmp/bmstree-metrics.json
 
 clean:
 	$(GO) clean ./...

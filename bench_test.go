@@ -14,7 +14,9 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func benchCfg() experiments.Config {
@@ -103,8 +105,27 @@ func randomBenchNet(seed int64, sinks int) *Net {
 	return n
 }
 
+// observeBKRUS installs a default obs registry for the benchmark and
+// returns a reporter that adds per-op construction-counter columns
+// (edges examined, witness scans, bound rejections) next to ns/op.
+func observeBKRUS(b *testing.B) func() {
+	b.Helper()
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	b.Cleanup(func() { obs.SetDefault(nil) })
+	return func() {
+		b.StopTimer()
+		sc := reg.Scope(core.ScopeName)
+		ops := float64(b.N)
+		b.ReportMetric(float64(sc.Counter(core.CtrEdgesExamined).Load())/ops, "edges/op")
+		b.ReportMetric(float64(sc.Counter(core.CtrWitnessScans).Load())/ops, "wscans/op")
+		b.ReportMetric(float64(sc.Counter(core.CtrBoundRejections).Load())/ops, "brejects/op")
+	}
+}
+
 func BenchmarkBKRUS50(b *testing.B) {
 	n := randomBenchNet(1, 50)
+	report := observeBKRUS(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -112,10 +133,12 @@ func BenchmarkBKRUS50(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	report()
 }
 
 func BenchmarkBKRUS200(b *testing.B) {
 	n := randomBenchNet(2, 200)
+	report := observeBKRUS(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -123,6 +146,7 @@ func BenchmarkBKRUS200(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	report()
 }
 
 func BenchmarkBKRUSLarge(b *testing.B) {
@@ -132,6 +156,7 @@ func BenchmarkBKRUSLarge(b *testing.B) {
 		b.Fatal(err)
 	}
 	n.MST()
+	report := observeBKRUS(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -139,6 +164,7 @@ func BenchmarkBKRUSLarge(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	report()
 }
 
 func BenchmarkBKH2Net15(b *testing.B) {

@@ -13,6 +13,11 @@
 // bkrus, bkruslu, bprim, brbc, bkh2, bkex, bmstg, bkst, bkstlu,
 // bkstplanar, elmore, bkh2elmore. -svg writes an SVG rendering of the
 // result.
+//
+// Observability (see OBSERVABILITY.md): -metrics file.json dumps the
+// construction counters of every instrumented layer as JSON, -pprof
+// file writes a CPU profile, -trace file writes a runtime execution
+// trace.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/inst"
+	"repro/internal/obs"
 
 	bpmst "repro"
 )
@@ -40,8 +46,35 @@ func main() {
 		quiet  = flag.Bool("quiet", false, "print only the summary line")
 		svg    = flag.String("svg", "", "write an SVG rendering of the tree to this file")
 		dump   = flag.String("dump", "", "write the loaded instance to this file (text format)")
+
+		pprofFile = flag.String("pprof", "", "write a CPU profile to this file")
+		traceFile = flag.String("trace", "", "write a runtime execution trace to this file")
+		metrics   = flag.String("metrics", "", "write an observability snapshot (JSON) to this file")
 	)
 	flag.Parse()
+
+	// Observability: -metrics installs a default registry so every layer
+	// (core, steiner, baseline) records; -pprof/-trace are independent.
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.SetLabel("binary", "bmstree")
+		reg.SetLabel("algo", *algo)
+		obs.SetDefault(reg)
+	}
+	stopProfiles, err := obs.StartProfiles(*pprofFile, *traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	finish := func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+		if *metrics != "" {
+			if err := obs.WriteFile(*metrics, obs.Default()); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	in, err := loadInstance(*inFile, *name, *random, *seed)
 	if err != nil {
@@ -59,6 +92,7 @@ func main() {
 
 	if *algo == "bkst" || *algo == "bkstlu" || *algo == "bkstplanar" {
 		var st *bpmst.SteinerTree
+		stopBuild := startBuildTimer()
 		switch *algo {
 		case "bkst":
 			st, err = bpmst.BKST(net, *eps)
@@ -67,6 +101,7 @@ func main() {
 		case "bkstplanar":
 			st, err = bpmst.BKSTPlanar(net, *eps)
 		}
+		stopBuild()
 		if err != nil {
 			fatal(err)
 		}
@@ -82,10 +117,13 @@ func main() {
 		}
 		fmt.Printf("algo=%s sinks=%d cost=%.6g radius=%.6g R=%.6g bound=%.6g cost/MST=%.4f planar=%v\n",
 			*algo, net.NumSinks(), st.Cost(), st.Radius(), net.R(), net.Bound(*eps), st.PerfRatio(net.MST()), st.IsPlanar())
+		finish()
 		return
 	}
 
+	stopBuild := startBuildTimer()
 	tree, err := buildTree(net, *algo, *eps, *eps1, *eps2, *depth)
+	stopBuild()
 	if err != nil {
 		fatal(err)
 	}
@@ -102,6 +140,16 @@ func main() {
 	fmt.Printf("algo=%s sinks=%d cost=%.6g radius=%.6g R=%.6g skew=%.4g cost/MST=%.4f\n",
 		*algo, net.NumSinks(), tree.Cost(), tree.Radius(), net.R(), tree.Skew(),
 		tree.PerfRatio(net.MST()))
+	finish()
+}
+
+// startBuildTimer times the tree construction into the default
+// registry's "run" scope; a no-op when observability is off.
+func startBuildTimer() func() {
+	if sc := obs.DefaultScope("run"); sc != nil {
+		return sc.Timer("build_seconds").Start()
+	}
+	return func() {}
 }
 
 func loadInstance(file, name string, random int, seed int64) (*inst.Instance, error) {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
 
 	bpmst "repro"
 )
@@ -67,6 +71,64 @@ func TestBuildTreeAlgorithms(t *testing.T) {
 	}
 	if _, err := buildTree(net, "bogus", 0.3, 0, 0.3, 0); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestMetricsReport exercises the -metrics pipeline: default registry
+// install, timed build, JSON snapshot with construction counters.
+func TestMetricsReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetLabel("binary", "bmstree")
+	reg.SetLabel("algo", "bkrus")
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	in, err := loadInstance("", "p3", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := startBuildTimer()
+	if _, err := buildTree(net, "bkrus", 0.2, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := obs.WriteFile(path, obs.Default()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	scopes := map[string]obs.ScopeSnapshot{}
+	for _, sc := range snap.Scopes {
+		scopes[sc.Name] = sc
+	}
+	run, ok := scopes["run"]
+	if !ok || len(run.Timers) == 0 || run.Timers[0].Count != 1 {
+		t.Errorf("run scope missing build timer: %+v", run)
+	}
+	coreSc, ok := scopes[core.ScopeName]
+	if !ok {
+		t.Fatal("core scope missing from snapshot")
+	}
+	counters := map[string]int64{}
+	for _, c := range coreSc.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{core.CtrEdgesExamined, core.CtrWitnessScans, core.CtrMerges} {
+		if counters[name] == 0 {
+			t.Errorf("counter %s missing or zero in snapshot", name)
+		}
 	}
 }
 

@@ -11,6 +11,12 @@
 // (default). -quick shrinks grids and case counts so the full suite
 // finishes in seconds; without it the paper's full grids run, which
 // takes hours on the largest benchmarks.
+//
+// Observability (see OBSERVABILITY.md): -metrics file.json dumps
+// per-experiment wall times plus the accumulated construction counters
+// of every instrumented layer as JSON, -pprof file writes a CPU
+// profile, -trace file writes a runtime execution trace — useful for
+// finding which experiment dominates a slow full run.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,10 +35,25 @@ func main() {
 		xbudget = flag.Int("xbudget", 0, "exchange expansion budget for BKH2/BKEX on large nets (0 = default)")
 		gbudget = flag.Int("gbudget", 0, "spanning tree budget for the exact enumeration (0 = default)")
 		csv     = flag.Bool("csv", false, "render tables as CSV for downstream plotting")
+
+		pprofFile = flag.String("pprof", "", "write a CPU profile to this file")
+		traceFile = flag.String("trace", "", "write a runtime execution trace to this file")
+		metrics   = flag.String("metrics", "", "write an observability snapshot (JSON) to this file")
 	)
 	var runs multiFlag
 	flag.Var(&runs, "run", "experiment id: 1-5, f1, f9-f13, depth, lemmas, elmore, all (repeatable)")
 	flag.Parse()
+
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.SetLabel("binary", "experiments")
+		obs.SetDefault(reg)
+	}
+	stopProfiles, err := obs.StartProfiles(*pprofFile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	cfg := experiments.Config{
 		Out:            os.Stdout,
@@ -45,12 +67,34 @@ func main() {
 		runs = []string{"all"}
 	}
 	for _, id := range runs {
-		if err := experiments.Run(id, cfg); err != nil {
+		stop := startRunTimer(id)
+		err := experiments.Run(id, cfg)
+		stop()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *metrics != "" {
+		if err := obs.WriteFile(*metrics, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// startRunTimer times one experiment into the default registry's
+// "experiments" scope; a no-op when observability is off.
+func startRunTimer(id string) func() {
+	if sc := obs.DefaultScope("experiments"); sc != nil {
+		return sc.Timer("run_" + id + "_seconds").Start()
+	}
+	return func() {}
 }
 
 // multiFlag collects repeatable string flags.

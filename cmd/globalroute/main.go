@@ -14,6 +14,11 @@
 //	sink 40 10
 //	sink 10 55
 //	end
+//
+// Observability (see OBSERVABILITY.md): -metrics file.json dumps the
+// router and construction counters of the whole run as JSON, -pprof
+// file writes a CPU profile, -trace file writes a runtime execution
+// trace — the natural place to inspect worker scheduling.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/inst"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/viz"
 )
@@ -39,8 +45,22 @@ func main() {
 		capacity = flag.Int("capacity", 0, "gcell capacity for overflow accounting (0 = skip)")
 		workers  = flag.Int("workers", 0, "route nets concurrently with this many workers (0 = NumCPU)")
 		heatmap  = flag.String("heatmap", "", "write an SVG congestion heatmap of the bounded policy to this file")
+
+		pprofFile = flag.String("pprof", "", "write a CPU profile to this file")
+		traceFile = flag.String("trace", "", "write a runtime execution trace to this file")
+		metrics   = flag.String("metrics", "", "write an observability snapshot (JSON) to this file")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.SetLabel("binary", "globalroute")
+		obs.SetDefault(reg)
+	}
+	stopProfiles, err := obs.StartProfiles(*pprofFile, *traceFile)
+	if err != nil {
+		fatal(err)
+	}
 
 	nl, err := loadNetlist(*inFile, *demo, *seed)
 	if err != nil {
@@ -93,6 +113,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("congestion heatmap written to %s\n", *heatmap)
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+	if *metrics != "" {
+		if err := obs.WriteFile(*metrics, obs.Default()); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -11,6 +11,21 @@
 //     time the accumulated tour length reaches ε·R, and return the
 //     shortest path tree of the augmented graph. Radius ≤ (1+ε)·R and
 //     cost ≤ (1 + 2/ε)·cost(MST) are guaranteed.
+//
+// Bookkeeping invariants and complexity:
+//
+//   - BPRIM fixes pathLen[v] (the source-path length) at insertion and
+//     never revisits it; best[v]/bestFrom[v] hold the cheapest feasible
+//     attachment seen so far, refreshed by one relaxation sweep per
+//     insertion — O(n²) scans total, the same loop Prim uses.
+//   - BRBC's tour accumulator counts both the descending and the
+//     backtracking leg of every MST edge, so the tour length between
+//     consecutive shortcuts is at most 2·ε·R, which is what the cost
+//     proof of CKR 1992 charges per shortcut. Kruskal + the Dijkstra
+//     pass dominate at O(n² log n).
+//
+// Relaxation-scan and shortcut counts are recorded into the "baseline"
+// obs scope (see OBSERVABILITY.md) when observability is enabled.
 package baseline
 
 import (
@@ -25,8 +40,13 @@ import (
 // BPRIM constructs a bounded path length spanning tree by the bounded
 // Prim rule. Every source-sink path is at most (1+eps)·R; the direct
 // source edge is always feasible, so the construction always completes
-// for eps ≥ 0.
+// for eps ≥ 0. When a default obs registry is installed the
+// construction records into its "baseline" scope.
 func BPRIM(in *inst.Instance, eps float64) (*graph.Tree, error) {
+	return bprim(in, eps, defaultCounters())
+}
+
+func bprim(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("baseline: negative eps %g", eps)
 	}
@@ -46,13 +66,19 @@ func BPRIM(in *inst.Instance, eps float64) (*graph.Tree, error) {
 		best[v] = math.Inf(1)
 		bestFrom[v] = -1
 	}
+	var scans, rejects int64 // accumulated locally, flushed once
 	relax := func(u int) {
 		for v := 0; v < n; v++ {
 			if inTree[v] || v == u {
 				continue
 			}
+			scans++
 			w := dm.At(u, v)
-			if pathLen[u]+w <= bound && w < best[v] {
+			if pathLen[u]+w > bound {
+				rejects++
+				continue
+			}
+			if w < best[v] {
 				best[v] = w
 				bestFrom[v] = u
 			}
@@ -76,12 +102,23 @@ func BPRIM(in *inst.Instance, eps float64) (*graph.Tree, error) {
 		t.AddEdge(u, v, best[v])
 		relax(v)
 	}
+	if c != nil {
+		c.BPRIMRelaxScans.Add(scans)
+		c.BPRIMBoundRejections.Add(rejects)
+		c.BPRIMAttachments.Add(int64(n - 1))
+	}
 	return t, nil
 }
 
 // BRBC constructs the bounded-radius bounded-cost tree. eps = +Inf
 // returns the plain MST; eps = 0 degenerates to the shortest path tree.
+// When a default obs registry is installed the construction records
+// into its "baseline" scope.
 func BRBC(in *inst.Instance, eps float64) (*graph.Tree, error) {
+	return brbc(in, eps, defaultCounters())
+}
+
+func brbc(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("baseline: negative eps %g", eps)
 	}
@@ -89,6 +126,9 @@ func BRBC(in *inst.Instance, eps float64) (*graph.Tree, error) {
 	n := in.N()
 	m := mst.Kruskal(dm)
 	if math.IsInf(eps, 1) || n <= 2 {
+		if c != nil {
+			c.BRBCMSTReturns.Inc()
+		}
 		return m, nil
 	}
 	budget := eps * in.R()
@@ -125,10 +165,15 @@ func BRBC(in *inst.Instance, eps float64) (*graph.Tree, error) {
 	dfs(graph.Source)
 
 	augmented := append([]graph.Edge(nil), m.Edges...)
+	var shortcuts int64
 	for v := 1; v < n; v++ {
 		if shortcut[v] {
+			shortcuts++
 			augmented = append(augmented, graph.Edge{U: graph.Source, V: v, W: dm.At(graph.Source, v)})
 		}
+	}
+	if c != nil {
+		c.BRBCShortcuts.Add(shortcuts)
 	}
 	return mst.SPTEdges(n, augmented, graph.Source), nil
 }

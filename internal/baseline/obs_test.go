@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Observed baseline builds must match the plain constructions and
+// record relaxation/shortcut counters.
+func TestBaselineObservedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInstance(rng, 25, 100)
+
+	plainP, err := BPRIM(in, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sc := reg.Scope(ScopeName)
+	obsP, err := BPRIMObserved(in, 0.2, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsP.Cost() != plainP.Cost() {
+		t.Errorf("BPRIM observed cost %v vs %v", obsP.Cost(), plainP.Cost())
+	}
+	if sc.Counter(CtrBPRIMRelaxScans).Load() == 0 {
+		t.Error("no relax scans recorded")
+	}
+	if got := sc.Counter(CtrBPRIMAttachments).Load(); got != int64(in.N()-1) {
+		t.Errorf("attachments = %d, want %d", got, in.N()-1)
+	}
+
+	plainB, err := BRBC(in, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsB, err := BRBCObserved(in, 0.1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsB.Cost() != plainB.Cost() {
+		t.Errorf("BRBC observed cost %v vs %v", obsB.Cost(), plainB.Cost())
+	}
+	// eps = 0.1 on a 25-sink spread instance forces shortcuts.
+	if sc.Counter(CtrBRBCShortcuts).Load() == 0 {
+		t.Error("no BRBC shortcuts recorded at tight eps")
+	}
+
+	// eps = +Inf short-circuits to the MST and says so.
+	if _, err := BRBCObserved(in, math.Inf(1), sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Counter(CtrBRBCMSTReturns).Load() != 1 {
+		t.Error("MST return not recorded")
+	}
+
+	// Nil scopes disable recording without changing results.
+	silentP, err := BPRIMObserved(in, 0.2, nil)
+	if err != nil || silentP.Cost() != plainP.Cost() {
+		t.Errorf("nil-scope BPRIM differs: %v", err)
+	}
+	silentB, err := BRBCObserved(in, 0.1, nil)
+	if err != nil || silentB.Cost() != plainB.Cost() {
+		t.Errorf("nil-scope BRBC differs: %v", err)
+	}
+}
+
+// Plain BPRIM/BRBC must feed the default registry's baseline scope when
+// one is installed, and stay silent when none is.
+func TestBaselineDefaultRegistryPickup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := randomInstance(rng, 10, 50)
+
+	// No registry: nothing to record into, still works.
+	if _, err := BPRIM(in, 0.3); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	if _, err := BPRIM(in, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BRBC(in, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	sc := reg.Scope(ScopeName)
+	if sc.Counter(CtrBPRIMRelaxScans).Load() == 0 {
+		t.Error("default scope saw no BPRIM relax scans")
+	}
+}

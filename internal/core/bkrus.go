@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/inst"
+	"repro/internal/obs"
 )
 
 // ErrInfeasible is returned when no spanning tree can satisfy the
@@ -135,7 +136,7 @@ type engine struct {
 	p     []float64 // P[x][y] flattened: in-forest path lengths, 0 across trees
 	r     []float64 // radius of each node within its partial tree
 	ds    *graph.DisjointSet
-	stats *BuildStats // optional instrumentation (nil = off)
+	c     *Counters // optional instrumentation (nil = off)
 	// byBase[rep] lists the members of the set named rep in ascending
 	// order of witnessBase = dist(S,x) + r[x] (lower-bound-ineligible
 	// members, base = +Inf, sort last). Since radius_M(x) >= r[x] for any
@@ -159,6 +160,13 @@ func newEngine(in *inst.Instance, b Bounds) *engine {
 	for x := 0; x < n; x++ {
 		e.byBase[x] = []int{x}
 	}
+	// Opportunistic instrumentation: when a binary has installed a
+	// process-wide registry, accumulate counters into its core scope.
+	// Callers needing per-run isolation or an explicit scope overwrite
+	// e.c after construction (BKRUSWithStats, BKRUSObserved).
+	if sc := obs.DefaultScope(ScopeName); sc != nil {
+		e.c = NewCounters(sc)
+	}
 	return e
 }
 
@@ -174,13 +182,6 @@ func (e *engine) witnessBase(x int) float64 {
 
 func (e *engine) path(x, y int) float64 { return e.p[x*e.n+y] }
 
-// count applies an instrumentation update when stats are enabled.
-func (e *engine) count(f func(*BuildStats)) {
-	if e.stats != nil {
-		f(e.stats)
-	}
-}
-
 func (e *engine) run() (*graph.Tree, error) {
 	edges := graph.CompleteEdges(e.dm)
 	graph.SortEdges(edges)
@@ -189,24 +190,34 @@ func (e *engine) run() (*graph.Tree, error) {
 		if len(t.Edges) == e.n-1 {
 			break // early exit after V-1 unions
 		}
-		e.count(func(s *BuildStats) { s.EdgesExamined++ })
+		if e.c != nil {
+			e.c.EdgesExamined.Inc()
+		}
 		if e.ds.Same(ed.U, ed.V) {
-			e.count(func(s *BuildStats) { s.CycleRejections++ })
+			if e.c != nil {
+				e.c.CycleRejections.Inc()
+			}
 			continue // condition (2): cycle edge
 		}
 		if (ed.U == graph.Source || ed.V == graph.Source) && !e.b.WithinLower(ed.W) {
-			e.count(func(s *BuildStats) { s.LemmaRejections++ })
+			if e.c != nil {
+				e.c.LemmaRejections.Inc()
+			}
 			continue // Lemma 6.1: a direct source edge below the lower bound
 		}
 		if !e.feasible(ed) {
-			e.count(func(s *BuildStats) { s.BoundRejections++ })
+			if e.c != nil {
+				e.c.BoundRejections.Inc()
+			}
 			continue // condition (3); Lemma 3.1 says never reconsider
 		}
 		e.merge(ed)
 		e.ds.Union(ed.U, ed.V)
 		e.refreshByBase(ed.U)
 		t.Edges = append(t.Edges, ed)
-		e.count(func(s *BuildStats) { s.Merges++ })
+		if e.c != nil {
+			e.c.Merges.Inc()
+		}
 	}
 	if len(t.Edges) != e.n-1 {
 		return nil, ErrInfeasible
@@ -255,8 +266,17 @@ func (e *engine) sourceMergeOK(u, v int, w float64) bool {
 // stored P and r without performing the merge.
 func (e *engine) witnessExists(ed graph.Edge) bool {
 	u, v, w := ed.U, ed.V, ed.W
+	// Scans are accumulated locally and flushed once per call: the
+	// witness search is the engine's hot loop, and one atomic add per
+	// call keeps instrumented runs within noise of uninstrumented ones.
+	scans := int64(0)
+	defer func() {
+		if e.c != nil && scans > 0 {
+			e.c.WitnessScans.Add(scans)
+		}
+	}()
 	for _, x := range e.byBase[e.ds.Find(u)] {
-		e.count(func(s *BuildStats) { s.WitnessScans++ })
+		scans++
 		if !e.b.WithinUpper(e.witnessBase(x)) {
 			break // sorted by base: no later member can witness either
 		}
@@ -266,7 +286,7 @@ func (e *engine) witnessExists(ed graph.Edge) bool {
 		}
 	}
 	for _, x := range e.byBase[e.ds.Find(v)] {
-		e.count(func(s *BuildStats) { s.WitnessScans++ })
+		scans++
 		if !e.b.WithinUpper(e.witnessBase(x)) {
 			break
 		}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// BKRUSObserved must produce the same tree as BKRUSBounds and record
+// exactly the counts BKRUSWithStats reports for the same instance.
+func TestBKRUSObservedMatchesWithStats(t *testing.T) {
+	in := bench.P3()
+	b := UpperOnly(in, 0.25)
+
+	plain, err := BKRUSBounds(in, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := BKRUSWithStats(in, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sc := reg.Scope(ScopeName)
+	observed, err := BKRUSObserved(in, b, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Cost() != plain.Cost() || len(observed.Edges) != len(plain.Edges) {
+		t.Errorf("observed tree differs: cost %v vs %v", observed.Cost(), plain.Cost())
+	}
+	c := NewCounters(sc)
+	got := c.stats()
+	if got != st {
+		t.Errorf("observed counters %+v differ from WithStats %+v", got, st)
+	}
+	if got.Merges != in.N()-1 {
+		t.Errorf("merges = %d, want %d", got.Merges, in.N()-1)
+	}
+	if got.EdgesExamined == 0 || got.WitnessScans == 0 {
+		t.Errorf("hot-path counters empty: %+v", got)
+	}
+
+	// A nil scope turns counting off and still builds the same tree.
+	silent, err := BKRUSObserved(in, b, nil)
+	if err != nil || silent.Cost() != plain.Cost() {
+		t.Errorf("nil-scope build differs: %v %v", silent, err)
+	}
+}
+
+// With a default registry installed, plain BKRUS accumulates into its
+// core scope; WithStats stays per-run isolated.
+func TestDefaultRegistryPickup(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	in := bench.P4()
+	if _, err := BKRUS(in, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	merges := reg.Scope(ScopeName).Counter(CtrMerges).Load()
+	if merges != int64(in.N()-1) {
+		t.Errorf("default scope merges = %d, want %d", merges, in.N()-1)
+	}
+
+	// Two more runs accumulate.
+	if _, err := BKRUS(in, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Scope(ScopeName).Counter(CtrMerges).Load(); got != 2*merges {
+		t.Errorf("counters did not accumulate: %d vs %d", got, 2*merges)
+	}
+
+	// WithStats isolates its run: the default scope must not move.
+	before := reg.Scope(ScopeName).Counter(CtrEdgesExamined).Load()
+	_, st, err := BKRUSWithStats(in, UpperOnly(in, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merges != in.N()-1 {
+		t.Errorf("WithStats merges = %d", st.Merges)
+	}
+	if after := reg.Scope(ScopeName).Counter(CtrEdgesExamined).Load(); after != before {
+		t.Errorf("WithStats leaked into the default scope: %d -> %d", before, after)
+	}
+}

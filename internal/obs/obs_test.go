@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	if g.Load() != 0 {
+		t.Errorf("zero gauge = %g", g.Load())
+	}
+	g.Set(0.75)
+	if g.Load() != 0.75 {
+		t.Errorf("gauge = %g", g.Load())
+	}
+	var tm Timer
+	tm.Observe(2 * time.Second)
+	tm.Observe(4 * time.Second)
+	if tm.Count() != 2 || tm.Total() != 6*time.Second {
+		t.Errorf("timer count=%d total=%v", tm.Count(), tm.Total())
+	}
+	stop := tm.Start()
+	stop()
+	if tm.Count() != 3 {
+		t.Errorf("Start/stop did not observe: count=%d", tm.Count())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	// buckets: le 1 -> {0.5, 1}, le 10 -> {5}, le 100 -> {50}, overflow -> {500, 5000}
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5556.5) > 1e-9 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+}
+
+func TestScopeGetOrCreate(t *testing.T) {
+	s := newScope("x")
+	if s.Counter("a") != s.Counter("a") {
+		t.Error("same counter name returned different instruments")
+	}
+	if s.Timer("a") == nil || s.Gauge("a") == nil {
+		t.Error("kinds must not collide on name")
+	}
+	h1 := s.Histogram("h", 1, 2, 3)
+	h2 := s.Histogram("h", 9, 9, 9) // bounds of an existing histogram are kept
+	if h1 != h2 {
+		t.Error("same histogram name returned different instruments")
+	}
+	if len(h1.Bounds()) != 3 || h1.Bounds()[2] != 3 {
+		t.Errorf("bounds mutated: %v", h1.Bounds())
+	}
+}
+
+func TestNilScopeAndRegistryAreSafe(t *testing.T) {
+	var s *Scope
+	s.Counter("c").Inc()
+	s.Gauge("g").Set(1)
+	s.Timer("t").Observe(time.Millisecond)
+	s.Histogram("h", 1, 2).Observe(1.5)
+	if s.Name() != "" {
+		t.Errorf("nil scope name %q", s.Name())
+	}
+	var r *Registry
+	if r.Scope("x") != nil {
+		t.Error("nil registry must yield nil scope")
+	}
+	r.SetLabel("k", "v") // must not panic
+	snap := r.Snapshot()
+	if len(snap.Scopes) != 0 {
+		t.Errorf("nil registry snapshot has scopes: %+v", snap)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if DefaultScope("core") != nil {
+		t.Fatal("default scope present before install")
+	}
+	reg := NewRegistry()
+	SetDefault(reg)
+	defer SetDefault(nil)
+	sc := DefaultScope("core")
+	if sc == nil {
+		t.Fatal("default scope missing after install")
+	}
+	sc.Counter("edges_examined").Add(7)
+	if got := reg.Scope("core").Counter("edges_examined").Load(); got != 7 {
+		t.Errorf("default scope not shared with registry: %d", got)
+	}
+	SetDefault(nil)
+	if DefaultScope("core") != nil {
+		t.Error("default scope present after uninstall")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabel("binary", "test")
+	reg.SetLabel("algo", "bkrus")
+	core := reg.Scope("core")
+	core.Counter("edges_examined").Add(123)
+	core.Counter("bound_rejections").Add(4)
+	router := reg.Scope("router")
+	router.Gauge("worker_utilization").Set(0.9)
+	router.Timer("route_wall").Observe(1500 * time.Millisecond)
+	h := router.Histogram("net_build_seconds", 0.001, 0.01, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, buf.String())
+	}
+	if back.CapturedAt == "" {
+		t.Error("captured_at missing")
+	}
+	if len(back.Labels) != 2 || back.Labels[0].Name != "binary" || back.Labels[1].Value != "bkrus" {
+		t.Errorf("labels wrong: %+v", back.Labels)
+	}
+	if len(back.Scopes) != 2 || back.Scopes[0].Name != "core" || back.Scopes[1].Name != "router" {
+		t.Fatalf("scopes wrong: %+v", back.Scopes)
+	}
+	cs := back.Scopes[0].Counters
+	if len(cs) != 2 || cs[0].Name != "edges_examined" || cs[0].Value != 123 || cs[1].Value != 4 {
+		t.Errorf("core counters wrong: %+v", cs)
+	}
+	rt := back.Scopes[1]
+	if len(rt.Gauges) != 1 || rt.Gauges[0].Value != 0.9 {
+		t.Errorf("gauges wrong: %+v", rt.Gauges)
+	}
+	if len(rt.Timers) != 1 || rt.Timers[0].Count != 1 || math.Abs(rt.Timers[0].TotalSeconds-1.5) > 1e-9 {
+		t.Errorf("timers wrong: %+v", rt.Timers)
+	}
+	if len(rt.Histograms) != 1 {
+		t.Fatalf("histograms wrong: %+v", rt.Histograms)
+	}
+	hv := rt.Histograms[0]
+	if hv.Count != 3 || hv.Overflow != 1 || len(hv.Buckets) != 3 ||
+		hv.Buckets[0].Count != 1 || hv.Buckets[2].Count != 1 {
+		t.Errorf("histogram snapshot wrong: %+v", hv)
+	}
+}
+
+func TestSnapshotSanitizesNonFiniteGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("s").Gauge("bad").Set(math.Inf(1))
+	reg.Scope("s").Gauge("nan").Set(math.NaN())
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("non-finite gauge broke JSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range back.Scopes[0].Gauges {
+		if g.Value != 0 {
+			t.Errorf("gauge %s = %g, want sanitized 0", g.Name, g.Value)
+		}
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabel("binary", "bmstree")
+	sc := reg.Scope("core")
+	sc.Counter("merges").Add(11)
+	sc.Timer("build_seconds").Observe(time.Second)
+	sc.Histogram("lat", 1).Observe(0.5)
+	text := reg.Snapshot().Text()
+	for _, want := range []string{"# binary = bmstree", "[core]", "merges", "11", "build_seconds", "le 1: 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("core").Counter("merges").Add(3)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written report does not parse: %v", err)
+	}
+	if len(back.Scopes) != 1 || back.Scopes[0].Counters[0].Value != 3 {
+		t.Errorf("round trip wrong: %+v", back)
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir.json"), reg); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("router")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := sc.Counter("nets_routed")
+			h := sc.Histogram("lat", 0.5, 1)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.25)
+				sc.Gauge("workers").Set(float64(workers))
+				sc.Timer("wall").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sc.Counter("nets_routed").Load(); got != workers*per {
+		t.Errorf("counter lost updates: %d", got)
+	}
+	h := sc.Histogram("lat")
+	if h.Count() != workers*per || h.BucketCount(0) != workers*per {
+		t.Errorf("histogram lost updates: count=%d", h.Count())
+	}
+	if math.Abs(h.Sum()-0.25*workers*per) > 1e-6 {
+		t.Errorf("histogram sum drifted: %g", h.Sum())
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop failed: %v", err)
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	tr := filepath.Join(dir, "trace.out")
+	stop, err = StartProfiles(cpu, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// burn a little CPU so the profile has something to record
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += math.Sqrt(float64(i))
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, tr} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s empty or missing: %v", p, err)
+		}
+	}
+	if _, err := StartProfiles(filepath.Join(dir, "no", "cpu.out"), ""); err == nil {
+		t.Error("unwritable cpu path accepted")
+	}
+	if _, err := StartProfiles("", filepath.Join(dir, "no", "trace.out")); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts CPU profiling and/or execution tracing into the
+// given files — the implementation behind every binary's -pprof and
+// -trace flags. An empty path disables that profile. The returned stop
+// function flushes and closes whatever was started; it must be called
+// exactly once, on the normal exit path, before any -metrics report is
+// written (profiling the report writer would only add noise).
+//
+// Inspect the outputs with the standard tooling:
+//
+//	go tool pprof <binary> cpu.out
+//	go tool trace trace.out
+func StartProfiles(cpuPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a registry's instruments,
+// serializable to JSON (-metrics reports) and renderable as text. All
+// durations are converted to seconds so the JSON needs no unit lookup.
+type Snapshot struct {
+	CapturedAt string          `json:"captured_at"`
+	Labels     []Label         `json:"labels,omitempty"`
+	Scopes     []ScopeSnapshot `json:"scopes"`
+}
+
+// Label is one registry label (binary name, algorithm, benchmark, ...).
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// ScopeSnapshot holds one scope's instruments in registration order.
+type ScopeSnapshot struct {
+	Name       string           `json:"name"`
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Timers     []TimerValue     `json:"timers,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// CounterValue is a counter reading.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is a gauge reading (non-finite values sanitized to 0).
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// TimerValue is a timer reading in seconds.
+type TimerValue struct {
+	Name         string  `json:"name"`
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+// HistogramValue is a histogram reading. Bucket counts are per-bucket
+// (not cumulative); Overflow counts observations above the last bound.
+type HistogramValue struct {
+	Name     string        `json:"name"`
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Buckets  []BucketValue `json:"buckets"`
+	Overflow int64         `json:"overflow"`
+}
+
+// BucketValue is one histogram bucket: observations v <= Le (and above
+// the previous bound).
+type BucketValue struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// finite sanitizes NaN/Inf, which encoding/json cannot represent.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Snapshot copies the registry's current instrument values. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{CapturedAt: time.Now().Format(time.RFC3339Nano)}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	labelOrder := append([]string(nil), r.labelOrder...)
+	for _, k := range labelOrder {
+		snap.Labels = append(snap.Labels, Label{Name: k, Value: r.labels[k]})
+	}
+	scopeOrder := append([]string(nil), r.scopeOrder...)
+	scopes := make([]*Scope, len(scopeOrder))
+	for i, name := range scopeOrder {
+		scopes[i] = r.scopes[name]
+	}
+	r.mu.Unlock()
+	for _, s := range scopes {
+		snap.Scopes = append(snap.Scopes, s.snapshot())
+	}
+	return snap
+}
+
+func (s *Scope) snapshot() ScopeSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ScopeSnapshot{Name: s.name}
+	for _, name := range s.order[kindCounter] {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: s.counters[name].Load()})
+	}
+	for _, name := range s.order[kindGauge] {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: finite(s.gauges[name].Load())})
+	}
+	for _, name := range s.order[kindTimer] {
+		t := s.timers[name]
+		tv := TimerValue{Name: name, Count: t.Count(), TotalSeconds: t.Total().Seconds()}
+		if tv.Count > 0 {
+			tv.MeanSeconds = tv.TotalSeconds / float64(tv.Count)
+		}
+		out.Timers = append(out.Timers, tv)
+	}
+	for _, name := range s.order[kindHistogram] {
+		h := s.hists[name]
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: finite(h.Sum())}
+		for i, le := range h.bounds {
+			hv.Buckets = append(hv.Buckets, BucketValue{Le: le, Count: h.counts[i].Load()})
+		}
+		hv.Overflow = h.counts[len(h.bounds)].Load()
+		out.Histograms = append(out.Histograms, hv)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Text renders the snapshot as aligned human-readable lines, one block
+// per scope.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, l := range s.Labels {
+		fmt.Fprintf(&b, "# %s = %s\n", l.Name, l.Value)
+	}
+	for _, sc := range s.Scopes {
+		fmt.Fprintf(&b, "[%s]\n", sc.Name)
+		for _, c := range sc.Counters {
+			fmt.Fprintf(&b, "  %-28s %d\n", c.Name, c.Value)
+		}
+		for _, g := range sc.Gauges {
+			fmt.Fprintf(&b, "  %-28s %g\n", g.Name, g.Value)
+		}
+		for _, t := range sc.Timers {
+			fmt.Fprintf(&b, "  %-28s n=%d total=%.6gs mean=%.6gs\n",
+				t.Name, t.Count, t.TotalSeconds, t.MeanSeconds)
+		}
+		for _, h := range sc.Histograms {
+			fmt.Fprintf(&b, "  %-28s n=%d sum=%.6g", h.Name, h.Count, h.Sum)
+			for _, bk := range h.Buckets {
+				fmt.Fprintf(&b, " | le %g: %d", bk.Le, bk.Count)
+			}
+			fmt.Fprintf(&b, " | over: %d\n", h.Overflow)
+		}
+	}
+	return b.String()
+}
+
+// WriteFile snapshots r and writes the indented JSON report to path —
+// the implementation behind every binary's -metrics flag.
+func WriteFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.Snapshot().WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

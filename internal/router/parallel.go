@@ -5,34 +5,96 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// ScopeName is the obs scope the router layer records into; see
+// OBSERVABILITY.md for the metric catalogue.
+const ScopeName = "router"
+
+// Router metric names (scope "router").
+const (
+	// TimerRouteWall is the wall-clock duration of each RouteParallel
+	// call (one observation per routed design).
+	TimerRouteWall = "route_wall"
+	// HistNetBuildSeconds is the per-net tree construction latency
+	// histogram.
+	HistNetBuildSeconds = "net_build_seconds"
+	// CtrNetsRouted counts successfully routed nets.
+	CtrNetsRouted = "nets_routed"
+	// CtrNetsFailed counts nets whose policy build returned an error.
+	CtrNetsFailed = "nets_failed"
+	// GaugeWorkers is the resolved worker count of the last parallel run.
+	GaugeWorkers = "workers"
+	// GaugeWorkerUtilization is busy-time / (wall-time x workers) of the
+	// last parallel run: 1.0 means every worker built trees the whole
+	// time, low values mean the run was dominated by a few slow nets.
+	GaugeWorkerUtilization = "worker_utilization"
+)
+
+// netBuildBuckets are the latency histogram upper bounds in seconds,
+// log-spaced to cover single-net constructions from microseconds (tiny
+// nets) to tens of seconds (the r4/r5 stand-ins).
+var netBuildBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10,
+}
+
+// clampWorkers resolves a requested worker count: 0 or negative means
+// GOMAXPROCS, and more workers than nets would only idle.
+func clampWorkers(workers, nets int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nets {
+		workers = nets
+	}
+	return workers
+}
 
 // RouteParallel routes the netlist with the policy across the given
 // number of workers (0 = GOMAXPROCS). Nets are independent, so results
 // are identical to Route; only wall-clock changes. The first error
-// aborts the run.
+// aborts the run. When a default obs registry is installed the run
+// records router metrics into its "router" scope.
 func RouteParallel(nl *Netlist, p Policy, workers int) (*Result, error) {
+	return RouteParallelObserved(nl, p, workers, obs.DefaultScope(ScopeName))
+}
+
+// RouteParallelObserved is RouteParallel recording into an explicit obs
+// scope: per-net build latencies (HistNetBuildSeconds), success/failure
+// counts, overall wall time, and worker utilization. A nil scope turns
+// recording off; the routed Result is identical either way.
+func RouteParallelObserved(nl *Netlist, p Policy, workers int, sc *obs.Scope) (*Result, error) {
 	if len(nl.Nets) == 0 {
 		return nil, fmt.Errorf("router: empty netlist")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(nl.Nets) {
-		workers = len(nl.Nets)
-	}
+	workers = clampWorkers(workers, len(nl.Nets))
+	start := time.Now()
 
 	results := make([]NetResult, len(nl.Nets))
 	errs := make([]error, len(nl.Nets))
+	busy := make([]time.Duration, workers) // per-worker build time, no sharing
+	var hist *obs.Histogram
+	if sc != nil {
+		hist = sc.Histogram(HistNetBuildSeconds, netBuildBuckets...)
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				n := nl.Nets[i]
+				t0 := time.Now()
 				t, err := p.Build(n.In)
+				d := time.Since(t0)
+				busy[w] += d
+				if hist != nil {
+					hist.Observe(d.Seconds())
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("router: net %q: %w", n.Name, err)
 					continue
@@ -48,13 +110,36 @@ func RouteParallel(nl *Netlist, p Policy, workers int) (*Result, error) {
 					Cost: t.Cost(), Radius: radius, R: r, PathRatio: ratio,
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range nl.Nets {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+
+	if sc != nil {
+		wall := time.Since(start)
+		sc.Timer(TimerRouteWall).Observe(wall)
+		sc.Gauge(GaugeWorkers).Set(float64(workers))
+		var busyTotal time.Duration
+		for _, d := range busy {
+			busyTotal += d
+		}
+		util := 0.0
+		if wall > 0 {
+			util = busyTotal.Seconds() / (wall.Seconds() * float64(workers))
+		}
+		sc.Gauge(GaugeWorkerUtilization).Set(util)
+		var failed int64
+		for i := range errs {
+			if errs[i] != nil {
+				failed++
+			}
+		}
+		sc.Counter(CtrNetsRouted).Add(int64(len(nl.Nets)) - failed)
+		sc.Counter(CtrNetsFailed).Add(failed)
+	}
 
 	res := &Result{Policy: p.Name}
 	var ratioSum float64

@@ -1,0 +1,119 @@
+package router
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/inst"
+	"repro/internal/obs"
+)
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		workers, nets, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := clampWorkers(c.workers, c.nets); got != c.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", c.workers, c.nets, got, c.want)
+		}
+	}
+}
+
+// A failing net must abort the whole run with a wrapped sentinel, and
+// the failure must be visible in the scope's counters.
+func TestRouteParallelObservedAbortsOnError(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(11)), 12)
+	bad := Policy{Name: "bad", Build: func(in *inst.Instance) (*graph.Tree, error) {
+		return nil, errSentinel
+	}}
+	reg := obs.NewRegistry()
+	sc := reg.Scope(ScopeName)
+	_, err := RouteParallelObserved(nl, bad, 3, sc)
+	if err == nil {
+		t.Fatal("failing policy did not abort the run")
+	}
+	if !errors.Is(err, errSentinel) {
+		t.Errorf("error does not wrap the build failure: %v", err)
+	}
+	if got := sc.Counter(CtrNetsFailed).Load(); got != int64(len(nl.Nets)) {
+		t.Errorf("nets_failed = %d, want %d", got, len(nl.Nets))
+	}
+	if got := sc.Counter(CtrNetsRouted).Load(); got != 0 {
+		t.Errorf("nets_routed = %d, want 0", got)
+	}
+}
+
+// Observed parallel routing must match serial Route exactly and record
+// a consistent metric set.
+func TestRouteParallelObservedDeterminismAndMetrics(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(7)), 20)
+	serial, err := Route(nl, BKRUSPolicy(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sc := reg.Scope(ScopeName)
+	par, err := RouteParallelObserved(nl, BKRUSPolicy(0.25), 4, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalCost != serial.TotalCost || par.WorstPathRatio != serial.WorstPathRatio {
+		t.Errorf("parallel result differs: cost %v vs %v, worst %v vs %v",
+			par.TotalCost, serial.TotalCost, par.WorstPathRatio, serial.WorstPathRatio)
+	}
+	for i := range par.Nets {
+		if par.Nets[i].Cost != serial.Nets[i].Cost {
+			t.Errorf("net %d cost %v vs %v", i, par.Nets[i].Cost, serial.Nets[i].Cost)
+		}
+	}
+
+	hist := sc.Histogram(HistNetBuildSeconds, netBuildBuckets...)
+	if count := hist.Count(); count != int64(len(nl.Nets)) {
+		t.Errorf("latency histogram has %d observations, want %d", count, len(nl.Nets))
+	}
+	if got := sc.Counter(CtrNetsRouted).Load(); got != int64(len(nl.Nets)) {
+		t.Errorf("nets_routed = %d, want %d", got, len(nl.Nets))
+	}
+	if got := sc.Counter(CtrNetsFailed).Load(); got != 0 {
+		t.Errorf("nets_failed = %d, want 0", got)
+	}
+	if got := sc.Gauge(GaugeWorkers).Load(); got != 4 {
+		t.Errorf("workers gauge = %v, want 4", got)
+	}
+	util := sc.Gauge(GaugeWorkerUtilization).Load()
+	if util <= 0 || util > 1.0+1e-9 {
+		t.Errorf("worker utilization %v outside (0, 1]", util)
+	}
+	if n := sc.Timer(TimerRouteWall).Count(); n != 1 {
+		t.Errorf("route_wall observations = %d, want 1", n)
+	}
+}
+
+// RouteParallel without a default registry must not record anywhere and
+// still work; with one installed it must feed the router scope.
+func TestRouteParallelDefaultRegistry(t *testing.T) {
+	nl := smallNetlist()
+	if _, err := RouteParallel(nl, MSTPolicy(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	if _, err := RouteParallel(nl, MSTPolicy(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Scope(ScopeName).Counter(CtrNetsRouted).Load(); got != int64(len(nl.Nets)) {
+		t.Errorf("default scope nets_routed = %d, want %d", got, len(nl.Nets))
+	}
+}

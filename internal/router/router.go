@@ -1,8 +1,28 @@
-// Package router routes whole designs: many nets sharing a chip. It
-// provides a netlist container with text IO, per-net routing policies
-// built on the bounded path length constructions, aggregate quality
-// accounting, and grid-based congestion estimation — the global routing
-// context the paper's introduction places its trees in.
+// Package router routes whole designs: many nets sharing a chip — the
+// global routing context the paper's introduction places its trees in
+// (performance-driven global routing, after Cong–Kahng–Robins 1992).
+//
+// It provides a netlist container with text IO, per-net routing
+// policies built on the bounded path length constructions, aggregate
+// quality accounting, and grid-based congestion estimation. Routing a
+// netlist is embarrassingly parallel: nets are independent, so
+// RouteParallel farms them to a bounded worker pool over an index
+// channel and writes each result into a per-net slot. Invariants the
+// implementation maintains:
+//
+//   - Determinism: results are written by net index, never appended
+//     from workers, so Route and RouteParallel produce identical
+//     Results for any worker count.
+//   - Error isolation: a failing net records its error in its own
+//     slot; after the pool drains, the first error (in net order)
+//     aborts the run. Workers never abandon queued nets mid-run.
+//   - Cost: one policy build per net — O(V³) per net for the BKRUS
+//     policy — plus O(nets) assembly; the congestion map rasterises
+//     tree edges onto a gcell grid in O(edges · gridspan).
+//
+// Per-net build latencies, worker utilisation, and success/failure
+// counts are recorded into the "router" obs scope (see OBSERVABILITY.md)
+// when observability is enabled.
 package router
 
 import (

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/inst"
+	"repro/internal/obs"
 )
 
 // ErrInfeasible is returned when no bounded Steiner tree could be built
@@ -151,18 +152,33 @@ func (h *pairHeap) Pop() interface{} {
 	return it
 }
 
+func fmtErrNegativeEps(eps float64) error {
+	return fmt.Errorf("steiner: negative eps %g", eps)
+}
+
+func fmtErrMetric(m geom.Metric) error {
+	return fmt.Errorf("steiner: BKST requires the Manhattan metric, got %v", m)
+}
+
 // BKST constructs a bounded path length rectilinear Steiner tree with
 // every source-sink path at most (1+eps)·R. The instance must use the
 // Manhattan metric. eps may be +Inf for the unconstrained Steiner
-// heuristic.
+// heuristic. When a default obs registry is installed the construction
+// records into its "steiner" scope.
 func BKST(in *inst.Instance, eps float64) (*SteinerTree, error) {
 	if eps < 0 {
-		return nil, fmt.Errorf("steiner: negative eps %g", eps)
+		return nil, fmtErrNegativeEps(eps)
 	}
 	if in.Metric() != geom.Manhattan {
-		return nil, fmt.Errorf("steiner: BKST requires the Manhattan metric, got %v", in.Metric())
+		return nil, fmtErrMetric(in.Metric())
 	}
 	b := newBuilder(in, in.Bound(eps))
+	return b.finish()
+}
+
+// finish runs the construction and validates the result against the
+// builder's upper bound — the shared tail of BKST and BKSTObserved.
+func (b *builder) finish() (*SteinerTree, error) {
 	b.run()
 	st := &SteinerTree{grid: b.g, edges: b.edges}
 	if err := st.Validate(); err != nil {
@@ -190,6 +206,7 @@ type builder struct {
 	h          pairHeap
 	edges      []graph.Edge
 	srcGrid    int
+	c          *Counters // optional instrumentation (nil = off)
 }
 
 func newBuilder(in *inst.Instance, bound float64) *builder {
@@ -218,6 +235,11 @@ func newBuilder(in *inst.Instance, bound float64) *builder {
 			heap.Push(&b.h, pairItem{d: g.Dist(a, c), a: a, b: c})
 		}
 	}
+	// Opportunistic instrumentation, overridable by BKSTObserved.
+	if sc := obs.DefaultScope(ScopeName); sc != nil {
+		b.c = NewCounters(sc)
+		b.c.publishGrid(g)
+	}
 	return b
 }
 
@@ -243,10 +265,16 @@ func (b *builder) complete() bool {
 func (b *builder) run() {
 	for b.h.Len() > 0 {
 		it := heap.Pop(&b.h).(pairItem)
+		if b.c != nil {
+			b.c.CandidatesExamined.Inc()
+		}
 		if b.ds.Same(it.a, it.b) {
 			continue
 		}
 		if !b.feasible(it.a, it.b, it.d) {
+			if b.c != nil {
+				b.c.BoundRejections.Inc()
+			}
 			continue
 		}
 		if !b.tryEmbed(it.a, it.b) {
@@ -364,6 +392,9 @@ func (b *builder) tryEmbed(a, c int) bool {
 			return true
 		}
 	}
+	if b.c != nil {
+		b.c.EmbedCollisions.Inc()
+	}
 	for _, path := range paths {
 		if i := b.firstCollisionIdx(path); i != -1 {
 			if z := path[i]; !b.ds.Same(a, z) {
@@ -395,6 +426,10 @@ func (b *builder) embed(path []int) {
 		b.ds.Union(prev, q)
 		b.edges = append(b.edges, graph.Edge{U: prev, V: q, W: w})
 		prev = q
+	}
+	if b.c != nil {
+		b.c.Embeds.Inc()
+		b.c.SteinerPointsAdded.Add(int64(len(fresh)))
 	}
 	// The nodes of the embedded path are new sinks: seed their candidate
 	// distances to every forest node outside the merged tree.
@@ -444,8 +479,12 @@ func (b *builder) mergeEdge(u, v int, w float64) {
 // witness invariant guarantees the jumper through the witness node
 // satisfies the bound, so construction always completes feasibly.
 func (b *builder) fallbackConnect(x int) {
+	if b.c != nil {
+		b.c.FallbackConnects.Inc()
+	}
 	mazePath, mazeTotal := b.mazeRoute(x)
 	if mazePath != nil && b.within(mazeTotal) {
+		b.countMaze()
 		b.embed(mazePath)
 		return
 	}
@@ -453,6 +492,7 @@ func (b *builder) fallbackConnect(x int) {
 		// Crossing wires is forbidden: take the best planar route if any
 		// (the final bound check decides feasibility), else give up.
 		if mazePath != nil {
+			b.countMaze()
 			b.embed(mazePath)
 			return
 		}
@@ -461,8 +501,12 @@ func (b *builder) fallbackConnect(x int) {
 	}
 	w, z, jumpTotal := b.bestJumper(x)
 	if mazePath != nil && mazeTotal <= jumpTotal {
+		b.countMaze()
 		b.embed(mazePath)
 		return
+	}
+	if b.c != nil {
+		b.c.JumperWires.Inc()
 	}
 	d := b.g.Dist(w, z)
 	b.mergeEdge(w, z, d)

@@ -1,5 +1,6 @@
 // Package steiner implements the paper's §3.3: bounded path length
-// Steiner trees on the Hanan grid (BKST).
+// Steiner trees on the Hanan grid (BKST), plus the §8 extensions
+// (lower+upper bounds, planar embedding).
 //
 // A spanning tree that connects the source and all sinks on the Hanan
 // grid graph — the grid induced by the distinct x and y coordinates of
@@ -8,7 +9,27 @@
 // connections are terminal-pair distances kept in a heap; a feasible
 // connection is embedded as an L-shaped path whose corner lies closer to
 // the source, and the grid nodes of the embedded path become new sinks
-// that seed further candidates.
+// that seed further candidates. When every L-path of a candidate
+// collides with already-placed wires, the builder splits the candidate
+// at the collision nodes; a tree that cannot connect at all falls back
+// to breadth-first maze routing around occupied nodes, or to a layered
+// "jumper" wire when crossing is permitted.
+//
+// Bookkeeping invariants, mirroring internal/core:
+//
+//   - path[x] is the source-path length of every occupied grid node in
+//     the source tree, and radius (the max in-tree path below a node)
+//     is tracked per partial tree; feasibility is the paper's (3-a)
+//     test evaluated on grid distances.
+//   - An embedded path occupies its grid nodes exactly once;
+//     embed_collisions counts candidates re-queued after splitting.
+//   - Complexity: the heap sees O(T²) seed pairs for T terminals and
+//     O(P·T) follow-ups for P embedded path nodes; each embed is
+//     O(path length · T). Maze routing is O(grid) per fallback.
+//
+// Grid dimensions and per-construction counters are recorded into the
+// "steiner" obs scope (see OBSERVABILITY.md) when observability is
+// enabled.
 package steiner
 
 import (

@@ -1,0 +1,96 @@
+package steiner
+
+import (
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/obs"
+)
+
+// ScopeName is the obs scope the Steiner layer records into; see
+// OBSERVABILITY.md for the metric catalogue.
+const ScopeName = "steiner"
+
+// Steiner metric names (scope "steiner"). Gauges describe the Hanan
+// grid of the last observed construction; counters accumulate across
+// constructions sharing a scope.
+const (
+	GaugeGridNodes = "grid_nodes"
+	GaugeGridCols  = "grid_cols"
+	GaugeGridRows  = "grid_rows"
+
+	CtrCandidatesExamined = "candidates_examined"  // pairs popped from the heap
+	CtrBoundRejections    = "bound_rejections"     // pairs failing (3-a)/(3-b)
+	CtrEmbeds             = "embeds"               // committed collision-free paths
+	CtrEmbedCollisions    = "embed_collisions"     // pairs whose L-paths all collided
+	CtrSteinerPointsAdded = "steiner_points_added" // fresh grid nodes accepted as new sinks
+	CtrFallbackConnects   = "fallback_connects"    // trees attached by the fallback
+	CtrMazeRoutes         = "maze_routes"          // fallbacks resolved by planar maze routing
+	CtrJumperWires        = "jumper_wires"         // fallbacks resolved by a layered jumper
+)
+
+// Counters is the BKST builder's obs-backed instrument set.
+type Counters struct {
+	GridNodes *obs.Gauge
+	GridCols  *obs.Gauge
+	GridRows  *obs.Gauge
+
+	CandidatesExamined *obs.Counter
+	BoundRejections    *obs.Counter
+	Embeds             *obs.Counter
+	EmbedCollisions    *obs.Counter
+	SteinerPointsAdded *obs.Counter
+	FallbackConnects   *obs.Counter
+	MazeRoutes         *obs.Counter
+	JumperWires        *obs.Counter
+}
+
+// NewCounters resolves the Steiner instrument set inside sc (nil sc
+// yields a standalone set not attached to any registry).
+func NewCounters(sc *obs.Scope) *Counters {
+	return &Counters{
+		GridNodes:          sc.Gauge(GaugeGridNodes),
+		GridCols:           sc.Gauge(GaugeGridCols),
+		GridRows:           sc.Gauge(GaugeGridRows),
+		CandidatesExamined: sc.Counter(CtrCandidatesExamined),
+		BoundRejections:    sc.Counter(CtrBoundRejections),
+		Embeds:             sc.Counter(CtrEmbeds),
+		EmbedCollisions:    sc.Counter(CtrEmbedCollisions),
+		SteinerPointsAdded: sc.Counter(CtrSteinerPointsAdded),
+		FallbackConnects:   sc.Counter(CtrFallbackConnects),
+		MazeRoutes:         sc.Counter(CtrMazeRoutes),
+		JumperWires:        sc.Counter(CtrJumperWires),
+	}
+}
+
+// publishGrid records the Hanan grid dimensions of a construction.
+func (c *Counters) publishGrid(g *Grid) {
+	c.GridNodes.Set(float64(g.Size()))
+	c.GridCols.Set(float64(g.Cols()))
+	c.GridRows.Set(float64(g.Rows()))
+}
+
+// countMaze marks one fallback resolved by planar maze routing.
+func (b *builder) countMaze() {
+	if b.c != nil {
+		b.c.MazeRoutes.Inc()
+	}
+}
+
+// BKSTObserved is BKST recording construction metrics into an explicit
+// obs scope (which may be shared across runs; counters accumulate). A
+// nil scope turns recording off; the tree is identical either way.
+func BKSTObserved(in *inst.Instance, eps float64, sc *obs.Scope) (*SteinerTree, error) {
+	if eps < 0 {
+		return nil, fmtErrNegativeEps(eps)
+	}
+	if in.Metric() != geom.Manhattan {
+		return nil, fmtErrMetric(in.Metric())
+	}
+	b := newBuilder(in, in.Bound(eps))
+	b.c = nil
+	if sc != nil {
+		b.c = NewCounters(sc)
+		b.c.publishGrid(b.g)
+	}
+	return b.finish()
+}

@@ -1,0 +1,83 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// BKSTObserved must build the same tree as BKST while recording grid
+// dimensions and construction counters; a nil scope disables recording.
+func TestBKSTObservedMatchesBKST(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	in := randomInstance(rng, 12, 40)
+
+	plain, err := BKST(in, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sc := reg.Scope(ScopeName)
+	observed, err := BKSTObserved(in, 0.3, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Cost() != plain.Cost() || observed.Radius() != plain.Radius() {
+		t.Errorf("observed tree differs: cost %v vs %v, radius %v vs %v",
+			observed.Cost(), plain.Cost(), observed.Radius(), plain.Radius())
+	}
+
+	g := NewGrid(in)
+	if got := sc.Gauge(GaugeGridNodes).Load(); got != float64(g.Size()) {
+		t.Errorf("grid_nodes gauge = %v, want %d", got, g.Size())
+	}
+	if got := sc.Gauge(GaugeGridCols).Load(); got != float64(g.Cols()) {
+		t.Errorf("grid_cols gauge = %v, want %d", got, g.Cols())
+	}
+	if sc.Counter(CtrCandidatesExamined).Load() == 0 {
+		t.Error("no candidates examined recorded")
+	}
+	embeds := sc.Counter(CtrEmbeds).Load()
+	if embeds == 0 {
+		t.Error("no embeds recorded")
+	}
+	// Every merge embeds one path; a forest of n terminals needs at
+	// least n-1 merging embeds (fallbacks may add more).
+	if embeds < int64(in.N()-1) {
+		t.Errorf("embeds = %d, want >= %d", embeds, in.N()-1)
+	}
+
+	// Nil scope: recording off, identical tree.
+	silent, err := BKSTObserved(in, 0.3, nil)
+	if err != nil || silent.Cost() != plain.Cost() {
+		t.Errorf("nil-scope build differs: %v %v", silent, err)
+	}
+
+	// Validation errors surface before any building.
+	if _, err := BKSTObserved(in, -1, sc); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+// Plain BKST must feed the default registry's steiner scope when one is
+// installed.
+func TestBKSTDefaultRegistryPickup(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	rng := rand.New(rand.NewSource(9))
+	in := randomInstance(rng, 8, 30)
+	if _, err := BKST(in, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sc := reg.Scope(ScopeName)
+	if sc.Counter(CtrCandidatesExamined).Load() == 0 {
+		t.Error("default scope saw no candidates")
+	}
+	if sc.Gauge(GaugeGridNodes).Load() == 0 {
+		t.Error("default scope saw no grid dimensions")
+	}
+}

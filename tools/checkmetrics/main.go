@@ -1,0 +1,50 @@
+// Command checkmetrics validates an observability snapshot written by
+// the -metrics flag of the repository binaries: the file must be valid
+// JSON, unmarshal into obs.Snapshot, and contain at least one scope
+// with at least one instrument. Used by `make metrics-smoke`.
+//
+// Usage:
+//
+//	checkmetrics file.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics file.json")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fatal(fmt.Errorf("%s: not a valid metrics snapshot: %w", path, err))
+	}
+	if len(snap.Scopes) == 0 {
+		fatal(fmt.Errorf("%s: snapshot has no scopes", path))
+	}
+	instruments := 0
+	for _, sc := range snap.Scopes {
+		instruments += len(sc.Counters) + len(sc.Gauges) + len(sc.Timers) + len(sc.Histograms)
+	}
+	if instruments == 0 {
+		fatal(fmt.Errorf("%s: snapshot has no instruments", path))
+	}
+	fmt.Printf("%s: ok (%d scopes, %d instruments, captured %s)\n",
+		path, len(snap.Scopes), instruments, snap.CapturedAt)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checkmetrics:", err)
+	os.Exit(1)
+}
