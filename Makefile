@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench quick experiments examples cover fuzz metrics-smoke clean
+.PHONY: all build test vet lint race bench quick experiments examples cover fuzz metrics-smoke clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# domain-invariant analyzers (floatcmp, maporder, wallclock, obsgate);
+# see internal/analysis and the "Code invariants" section of README.md
+lint:
+	$(GO) run ./tools/lint ./...
 
 test:
 	$(GO) test ./...

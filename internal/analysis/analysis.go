@@ -1,0 +1,243 @@
+// Package analysis is a small stdlib-only static-analysis framework
+// plus the four domain analyzers that machine-check this repository's
+// code invariants:
+//
+//   - floatcmp: geometric weights are float64 and must never be
+//     compared exactly outside the approved epsilon helpers in
+//     internal/geom (Euclidean-mode table reproductions break
+//     silently otherwise).
+//   - maporder: constructions must be deterministic for a fixed
+//     input, so map-iteration order must never reach a slice, an
+//     output stream, or a float accumulator without an intervening
+//     sort.
+//   - wallclock: deterministic construction packages must not read
+//     the wall clock directly; timing belongs to internal/obs timers
+//     so the hot paths stay reproducible and nil-gated.
+//   - obsgate: every obs recording call site must be reachable only
+//     behind a nil-scope gate (or inside a counter-set method whose
+//     call sites are gated), preserving the "observation off by
+//     default costs one pointer test" contract.
+//
+// The framework loads packages with `go list` (syntax via go/parser,
+// types via go/types and the toolchain's export data), runs each
+// analyzer over the packages it applies to, and reports diagnostics
+// with file:line:col positions. Findings are suppressed per line with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory: a suppression without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `lint -list`.
+	Doc string
+	// AppliesTo reports whether the analyzer runs on the package with
+	// the given import path. A nil AppliesTo means every package. The
+	// driver consults this; tests may run an analyzer on any package
+	// directly.
+	AppliesTo func(importPath string) bool
+	// Run inspects one type-checked package and reports findings
+	// through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer that applies to pkg and returns the
+// surviving diagnostics: suppressed findings are dropped, malformed
+// suppressions are reported, and the result is sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = append(diags, applySuppressions(pkg, analyzers, &diags)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// matching findings on its own line (trailing comment) and on the line
+// directly below it (directive on a line of its own).
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+func (d ignoreDirective) covers(pos token.Position) bool {
+	return d.file == pos.Filename && (d.line == pos.Line || d.line+1 == pos.Line)
+}
+
+// parseIgnores extracts the //lint:ignore directives of one file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			d := ignoreDirective{file: pos.Filename, line: pos.Line, pos: pos}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applySuppressions drops suppressed findings from diags in place and
+// returns extra diagnostics about malformed or unused directives. Only
+// directives naming one of the analyzers that actually ran can be
+// reported as unused.
+func applySuppressions(pkg *Package, ran []*Analyzer, diags *[]Diagnostic) []Diagnostic {
+	var ignores []ignoreDirective
+	for _, f := range pkg.Files {
+		ignores = append(ignores, parseIgnores(pkg.Fset, f)...)
+	}
+	if len(ignores) == 0 {
+		return nil
+	}
+	var extra []Diagnostic
+	used := make([]bool, len(ignores))
+	kept := (*diags)[:0]
+	for _, d := range *diags {
+		suppressed := false
+		for i, ig := range ignores {
+			if ig.analyzer == d.Analyzer && ig.reason != "" && ig.covers(d.Pos) {
+				suppressed, used[i] = true, true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	*diags = kept
+	for i, ig := range ignores {
+		switch {
+		case ig.analyzer == "" || ig.reason == "":
+			extra = append(extra, Diagnostic{
+				Analyzer: "lint",
+				Pos:      ig.pos,
+				Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+			})
+		case !used[i] && analyzerRan(ig.analyzer, ran, pkg.ImportPath):
+			extra = append(extra, Diagnostic{
+				Analyzer: "lint",
+				Pos:      ig.pos,
+				Message:  fmt.Sprintf("unused //lint:ignore %s directive (nothing to suppress here)", ig.analyzer),
+			})
+		}
+	}
+	return extra
+}
+
+// analyzerRan reports whether the named analyzer was applied to the
+// package in this Run call.
+func analyzerRan(name string, ran []*Analyzer, importPath string) bool {
+	for _, a := range ran {
+		if a.Name == name && (a.AppliesTo == nil || a.AppliesTo(importPath)) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the repository's analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, MapOrder, WallClock, ObsGate}
+}
+
+// pathIn reports whether importPath is one of the given paths.
+func pathIn(importPath string, paths ...string) bool {
+	for _, p := range paths {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one testdata fixture directory as
+// a single package under the given (fake) import path. The fake path
+// lets each analyzer's AppliesTo see the fixture as a package it
+// covers.
+func loadFixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	lookup, err := exportLookup("", []string{
+		"fmt", "sort", "time", "math", "repro/internal/obs",
+	})
+	if err != nil {
+		t.Fatalf("building export lookup: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typeCheck(fset, importPath, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}
+}
+
+// wantRe matches a trailing "// want:<analyzer>" expectation marker.
+var wantRe = regexp.MustCompile(`// want:(\w+)$`)
+
+// fixtureWants scans the fixture sources for expectation markers and
+// returns the exact file:line -> analyzer expectations.
+func fixtureWants(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	wants := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRe.FindStringSubmatch(strings.TrimRight(sc.Text(), " \t")); m != nil {
+				wants[fmt.Sprintf("%s:%d", path, line)] = m[1]
+			}
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over its fixture directory and
+// asserts the diagnostics match the want markers exactly, position by
+// position.
+func checkFixture(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, importPath)
+	wants := fixtureWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers", dir)
+	}
+	got := map[string][]string{}
+	for _, d := range Run(pkg, []*Analyzer{a}) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		got[key] = append(got[key], d.Analyzer+": "+d.Message)
+	}
+	for key, analyzer := range wants {
+		ds := got[key]
+		switch {
+		case len(ds) == 0:
+			t.Errorf("%s: want a %s diagnostic, got none", key, analyzer)
+		case len(ds) != 1:
+			t.Errorf("%s: want exactly one diagnostic, got %d: %v", key, len(ds), ds)
+		case !strings.HasPrefix(ds[0], analyzer+": "):
+			t.Errorf("%s: want a %s diagnostic, got %q", key, analyzer, ds[0])
+		}
+	}
+	var extra []string
+	for key, ds := range got {
+		if _, ok := wants[key]; !ok {
+			extra = append(extra, fmt.Sprintf("%s: %v", key, ds))
+		}
+	}
+	sort.Strings(extra)
+	for _, e := range extra {
+		t.Errorf("unexpected diagnostic: %s", e)
+	}
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	checkFixture(t, FloatCmp, filepath.Join("testdata", "floatcmp"), "repro/internal/fixture")
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	checkFixture(t, MapOrder, filepath.Join("testdata", "maporder"), "repro/internal/fixture")
+}
+
+func TestWallClockFixture(t *testing.T) {
+	// The fake import path makes the fixture count as a deterministic
+	// construction package.
+	checkFixture(t, WallClock, filepath.Join("testdata", "wallclock"), "repro/internal/core")
+}
+
+func TestObsGateFixture(t *testing.T) {
+	checkFixture(t, ObsGate, filepath.Join("testdata", "obsgate"), "repro/internal/fixture")
+}
+
+// TestAppliesTo pins the per-analyzer package allowlists.
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{FloatCmp, "repro/internal/geom", false}, // hosts the approved helpers
+		{FloatCmp, "repro/internal/core", true},
+		{FloatCmp, "repro", true},
+		{WallClock, "repro/internal/core", true},
+		{WallClock, "repro/internal/steiner", true},
+		{WallClock, "repro/internal/router", false}, // times its own parallel runs
+		{WallClock, "repro/internal/experiments", false},
+		{ObsGate, "repro/internal/router", true},
+		{ObsGate, "repro/internal/obs", false}, // the instruments themselves
+		{ObsGate, "repro/cmd/bmstree", false},  // binaries run off the hot path
+	}
+	for _, c := range cases {
+		if got := c.a.AppliesTo(c.path); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+	if MapOrder.AppliesTo != nil {
+		t.Error("maporder must apply to every package")
+	}
+}
+
+// TestSuppressionDiagnostics covers the directive edge cases: a
+// malformed directive (no reason) never suppresses and is reported,
+// and an unused directive for an analyzer that ran is reported.
+func TestSuppressionDiagnostics(t *testing.T) {
+	src := `package fixture
+
+func cmp(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+
+//lint:ignore floatcmp stale suppression with nothing underneath
+func clean(a, b int) bool {
+	return a == b
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "suppress.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := typeCheck(fset, "repro/internal/fixture", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Package{ImportPath: "repro/internal/fixture", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+	var lines []string
+	for _, d := range Run(p, []*Analyzer{FloatCmp}) {
+		lines = append(lines, fmt.Sprintf("%d %s", d.Pos.Line, d.Analyzer))
+	}
+	want := []string{
+		"4 lint",     // malformed: no reason
+		"5 floatcmp", // not suppressed by the malformed directive
+		"8 lint",     // unused directive
+	}
+	if strings.Join(lines, ", ") != strings.Join(want, ", ") {
+		t.Errorf("diagnostics = %v, want %v", lines, want)
+	}
+}
+
+// TestLoadRepo smoke-tests the go list + export data loader on this
+// very package.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := Load("", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "repro/internal/analysis" {
+		t.Fatalf("Load(.) = %v, want the analysis package itself", pkgs)
+	}
+	if len(pkgs[0].Files) == 0 || pkgs[0].Types == nil {
+		t.Fatal("loaded package has no syntax or types")
+	}
+}

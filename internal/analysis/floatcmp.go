@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags exact equality on floating-point values: `==`, `!=`
+// and switch cases whose operands have a float underlying type.
+//
+// Geometric weights in this repository are float64 Manhattan or
+// Euclidean distances; two independently computed distances that are
+// mathematically equal routinely differ in the last ulp (Euclidean
+// mode especially, via math.Hypot), so exact comparison silently
+// corrupts the Table 1–5 reproductions. Comparisons belong in the
+// approved epsilon helpers of internal/geom (Eq, EqWithin, Collinear,
+// OnSegment, UniqueCoords), which is the one package this analyzer
+// does not visit.
+//
+// Two exact idioms remain allowed, because they compare against values
+// that are assigned, never computed: comparison with the constant zero
+// (the "unset" sentinel) and comparison with math.Inf(...) or
+// math.MaxFloat64 (the "infinite/unbounded" sentinel). Anything else
+// needs either a geom helper or a //lint:ignore floatcmp with a
+// reason — sort comparators that must stay a strict total order are
+// the usual legitimate case.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!=/switch-case comparison of float operands outside internal/geom",
+	AppliesTo: func(importPath string) bool {
+		return importPath != "repro/internal/geom"
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(p.TypeOf(n.X)) && !isFloat(p.TypeOf(n.Y)) {
+					return true
+				}
+				if floatSentinel(p, n.X) || floatSentinel(p, n.Y) {
+					return true
+				}
+				p.Reportf(n.OpPos,
+					"exact float comparison (%s): use a geom epsilon helper, or //lint:ignore floatcmp with a reason",
+					n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isFloat(p.TypeOf(n.Tag)) {
+					return true
+				}
+				p.Reportf(n.Switch,
+					"switch on a float value compares cases exactly: use if/else with a geom epsilon helper")
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type (covers named types and untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// floatSentinel reports whether e is one of the allowed exact
+// comparands: the constant zero, math.Inf(...), or math.MaxFloat64.
+func floatSentinel(p *Pass, e ast.Expr) bool {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		if tv.Value.Kind() == constant.Float || tv.Value.Kind() == constant.Int {
+			if constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0)) {
+				return true
+			}
+			if constant.Compare(tv.Value, token.EQL, constant.MakeFloat64(maxFloat64)) ||
+				constant.Compare(tv.Value, token.EQL, constant.MakeFloat64(-maxFloat64)) {
+				return true
+			}
+		}
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if isPkgFunc(p, call.Fun, "math", "Inf") {
+			return true
+		}
+	}
+	return false
+}
+
+const maxFloat64 = 0x1p1023 * (1 + (1 - 0x1p-52)) // math.MaxFloat64
+
+// isPkgFunc reports whether fun resolves to the function pkg.name.
+func isPkgFunc(p *Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

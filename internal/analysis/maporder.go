@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body leaks the (randomized)
+// iteration order into something order-sensitive:
+//
+//   - appending to a slice declared outside the loop, unless that
+//     slice is sorted later in the same function — the append/sort
+//     pair is the approved deterministic idiom;
+//   - writing output (fmt print functions, Write/WriteString methods)
+//     directly from the loop body;
+//   - accumulating into a float variable declared outside the loop
+//     (float addition is not associative, so even a "sum" depends on
+//     iteration order).
+//
+// Constructions must be byte-for-byte deterministic for a fixed input:
+// edge lists, tree outputs and table rows that pass through a map
+// range without an intervening sort reproduce differently from run to
+// run, which breaks the determinism tests and the cross-run float
+// wirelength/radius comparisons the experiment harness relies on.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order reaches a slice, output, or float accumulator unsorted",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		// Collect function bodies so each range statement can be
+		// checked against "later in the same function".
+		var funcs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(p, rs, enclosingFunc(funcs, rs.Pos()))
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function node containing pos.
+func enclosingFunc(funcs []ast.Node, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, fn := range funcs {
+		if fn.Pos() <= pos && pos < fn.End() {
+			if best == nil || fn.Pos() > best.Pos() {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+func checkMapRange(p *Pass, rs *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rs, fn, n)
+		case *ast.CallExpr:
+			if name, ok := outputCall(p, n); ok {
+				p.Reportf(n.Pos(),
+					"map iteration order reaches output via %s: iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, rs *ast.RangeStmt, fn ast.Node, as *ast.AssignStmt) {
+	// s op= v accumulation into an outer float.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
+		as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN {
+		lhs := as.Lhs[0]
+		if isFloat(p.TypeOf(lhs)) && declaredOutside(p, lhs, rs) {
+			p.Reportf(as.TokPos,
+				"float accumulation over map iteration is order-dependent: iterate sorted keys instead")
+		}
+		return
+	}
+	// s = append(s, ...) into an outer slice.
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) {
+			continue
+		}
+		if !declaredOutside(p, lhs, rs) {
+			continue
+		}
+		if obj := rootObject(p, lhs); obj != nil && sortedAfter(p, fn, rs, obj) {
+			continue
+		}
+		p.Reportf(as.Pos(),
+			"append inside map iteration leaks map order into %s: sort it afterwards or iterate sorted keys",
+			types.ExprString(lhs))
+	}
+}
+
+// declaredOutside reports whether the variable behind e is declared
+// outside the range statement (package vars and struct fields count).
+func declaredOutside(p *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	obj := rootObject(p, e)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// rootObject resolves e to the object of its leftmost identifier:
+// x -> x, x.f -> x, x[i] -> x.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.Info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// outputCall reports whether call writes to an output stream: fmt
+// Print/Fprint/Sprint-family functions or a Write/WriteString/
+// WriteByte/WriteRune method.
+func outputCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln",
+			"Sprint", "Sprintf", "Sprintln", "Appendf", "Append", "Appendln":
+			// Sprint into a discarded string is still order-dependent
+			// when concatenated; flag the lot for simplicity.
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether obj appears as (part of) an argument to
+// a sort/slices call after the range statement in the same function.
+func sortedAfter(p *Pass, fn ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fnObj := p.Info.Uses[sel.Sel]
+		if fnObj == nil || fnObj.Pkg() == nil {
+			return true
+		}
+		if pkg := fnObj.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// obsPath is the import path of the observability layer.
+const obsPath = "repro/internal/obs"
+
+// recordingMethods are the obs instrument methods that record an
+// observation (as opposed to lookups like Scope.Counter or reads like
+// Counter.Load, which are free of the off-by-default contract).
+var recordingMethods = map[string]map[string]bool{
+	"Counter":   {"Inc": true, "Add": true},
+	"Gauge":     {"Set": true},
+	"Timer":     {"Observe": true, "Start": true},
+	"Histogram": {"Observe": true},
+}
+
+// ObsGate verifies the "observation off by default" contract of the
+// internal/obs layer: inside the algorithm packages, every call that
+// records an observation — an instrument recording method, or a method
+// of a counter-set struct that itself records — must be reachable only
+// behind a nil gate, so that a construction with no registry installed
+// pays one pointer test and nothing else. A call site is considered
+// gated when it sits
+//
+//   - inside `if x != nil { ... }` (possibly conjoined with other
+//     conditions) where x is an obs scope, instrument, or counter-set
+//     pointer, or
+//   - after an `if x == nil { return/continue/break }` early exit on
+//     such an x in an enclosing block, or
+//   - inside a method of a counter-set type recording through its own
+//     receiver — there the gate is the caller's obligation, enforced
+//     at the counter-set call site.
+//
+// Counter-set types are structs whose fields are all obs instrument
+// pointers (core.Counters, steiner.Counters, baseline.Counters).
+var ObsGate = &Analyzer{
+	Name: "obsgate",
+	Doc:  "verifies obs recording call sites are reachable only behind a nil-scope gate",
+	AppliesTo: func(importPath string) bool {
+		return strings.HasPrefix(importPath, "repro/internal/") &&
+			importPath != obsPath && importPath != "repro/internal/analysis"
+	},
+	Run: runObsGate,
+}
+
+func runObsGate(p *Pass) {
+	rec := newRecorderIndex(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			what, recvExpr := rec.recordingCall(p, call, sel)
+			if what == "" {
+				return true
+			}
+			if gated(p, f, call, recvExpr) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s outside a nil gate: wrap in `if x != nil` on the scope/counter set so observation off stays one pointer test",
+				what)
+			return true
+		})
+	}
+}
+
+// recorderIndex knows which counter-set methods of the analyzed
+// package record observations.
+type recorderIndex struct {
+	methods map[types.Object]bool // method object -> records through receiver
+}
+
+func newRecorderIndex(p *Pass) *recorderIndex {
+	idx := &recorderIndex{methods: map[types.Object]bool{}}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			recvType := p.TypeOf(fd.Recv.List[0].Type)
+			if !isCounterSet(recvType) {
+				continue
+			}
+			obj := p.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			records := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if records {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := p.Info.Selections[sel]
+				if selection == nil || selection.Kind() != types.MethodVal {
+					return true
+				}
+				if name, ok := instrumentType(selection.Recv()); ok && recordingMethods[name][sel.Sel.Name] {
+					records = true
+				}
+				return true
+			})
+			idx.methods[obj] = records
+		}
+	}
+	return idx
+}
+
+// recordingCall reports whether call records an observation. It
+// returns a description for the diagnostic and the receiver expression
+// (empty string means not a recording call).
+func (idx *recorderIndex) recordingCall(p *Pass, call *ast.CallExpr, sel *ast.SelectorExpr) (string, ast.Expr) {
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", nil
+	}
+	recv := selection.Recv()
+	if name, ok := instrumentType(recv); ok {
+		if recordingMethods[name][sel.Sel.Name] {
+			return "obs " + name + "." + sel.Sel.Name + " recording call", sel.X
+		}
+		return "", nil
+	}
+	if isCounterSet(recv) {
+		obj := selection.Obj()
+		records, known := idx.methods[obj]
+		if known && !records {
+			return "", nil // e.g. a read-only stats() accessor
+		}
+		// Unknown bodies (imported counter sets) are conservatively
+		// treated as recording.
+		return "counter-set method " + sel.Sel.Name + " (records observations)", sel.X
+	}
+	return "", nil
+}
+
+// instrumentType reports whether t is a pointer to one of the obs
+// instrument types, returning the instrument name.
+func instrumentType(t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if _, ok := recordingMethods[name]; !ok {
+		return "", false
+	}
+	return name, true
+}
+
+// isObsScope reports whether t is *obs.Scope or *obs.Registry.
+func isObsScope(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+		return false
+	}
+	return named.Obj().Name() == "Scope" || named.Obj().Name() == "Registry"
+}
+
+// isCounterSet reports whether t is a pointer to a struct whose fields
+// are all obs instrument pointers (at least one field).
+func isCounterSet(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := instrumentType(st.Field(i).Type()); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// gateType reports whether t can serve as a nil gate: an obs scope or
+// registry, an instrument pointer, or a counter-set pointer.
+func gateType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isObsScope(t) {
+		return true
+	}
+	if _, ok := instrumentType(t); ok {
+		return true
+	}
+	return isCounterSet(t)
+}
+
+// gated reports whether the recording call at callPos is behind a nil
+// gate (see the ObsGate doc comment for the accepted shapes).
+func gated(p *Pass, f *ast.File, call *ast.CallExpr, recvExpr ast.Expr) bool {
+	path := enclosingPath(f, call.Pos())
+	for i := len(path) - 1; i >= 0; i-- {
+		switch n := path[i].(type) {
+		case *ast.IfStmt:
+			inBody := n.Body.Pos() <= call.Pos() && call.Pos() < n.Body.End()
+			if inBody && condNilChecks(p, n.Cond) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, st := range n.List {
+				if st.End() >= call.Pos() {
+					break
+				}
+				if ifSt, ok := st.(*ast.IfStmt); ok && earlyExitNilGuard(p, ifSt) {
+					return true
+				}
+			}
+		case *ast.FuncDecl:
+			if counterSetMethodOnReceiver(p, n, recvExpr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condNilChecks reports whether cond (possibly an && chain) contains a
+// conjunct `x != nil` with x of a gate type.
+func condNilChecks(p *Pass, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return condNilChecks(p, e.X) || condNilChecks(p, e.Y)
+		}
+		if e.Op == token.NEQ {
+			if isNilIdent(p, e.Y) && gateType(p.TypeOf(e.X)) {
+				return true
+			}
+			if isNilIdent(p, e.X) && gateType(p.TypeOf(e.Y)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// earlyExitNilGuard reports whether ifSt is `if x == nil { return ...
+// }` (or continue/break) with x of a gate type.
+func earlyExitNilGuard(p *Pass, ifSt *ast.IfStmt) bool {
+	cond, ok := ast.Unparen(ifSt.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	var gate ast.Expr
+	switch {
+	case isNilIdent(p, cond.Y):
+		gate = cond.X
+	case isNilIdent(p, cond.X):
+		gate = cond.Y
+	default:
+		return false
+	}
+	if !gateType(p.TypeOf(gate)) {
+		return false
+	}
+	for _, st := range ifSt.Body.List {
+		switch st.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// counterSetMethodOnReceiver reports whether fd is a method on a
+// counter-set type and recvExpr is rooted at its receiver.
+func counterSetMethodOnReceiver(p *Pass, fd *ast.FuncDecl, recvExpr ast.Expr) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false
+	}
+	if !isCounterSet(p.TypeOf(fd.Recv.List[0].Type)) {
+		return false
+	}
+	recvObj := p.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil || recvExpr == nil {
+		return false
+	}
+	return rootObject(p, recvExpr) == recvObj
+}
+
+// enclosingPath returns the chain of nodes from f down to the
+// innermost node containing pos.
+func enclosingPath(f *ast.File, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	n := ast.Node(f)
+	for n != nil {
+		path = append(path, n)
+		var child ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n || child != nil {
+				return c == n
+			}
+			if c.Pos() <= pos && pos < c.End() {
+				child = c
+			}
+			return false
+		})
+		n = child
+	}
+	return path
+}

@@ -1,0 +1,28 @@
+// Fixture: true positives for the floatcmp analyzer. Lines marked
+// `want:floatcmp` must each produce exactly one diagnostic at that
+// file:line.
+package fixture
+
+// Weight mirrors the named float types used for edge weights.
+type Weight float64
+
+func exactEqual(a, b float64) bool {
+	return a == b // want:floatcmp
+}
+
+func exactNotEqual(a, b Weight) bool {
+	return a != b // want:floatcmp
+}
+
+func exactAgainstLiteral(wl float64) bool {
+	return wl == 1.5 // want:floatcmp
+}
+
+func switchOnFloat(x float64) int {
+	switch x { // want:floatcmp
+	case 0.25:
+		return 1
+	default:
+		return 0
+	}
+}

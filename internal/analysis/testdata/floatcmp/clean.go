@@ -1,0 +1,30 @@
+// Fixture: allowlisted and clean cases for the floatcmp analyzer —
+// none of these lines may produce a diagnostic.
+package fixture
+
+import "math"
+
+func zeroSentinel(w float64) bool {
+	return w == 0 // constant zero is the approved "unset" sentinel
+}
+
+func infSentinel(d float64) bool {
+	return d == math.Inf(1) // assigned, never computed
+}
+
+func maxSentinel(d float64) bool {
+	return d != math.MaxFloat64
+}
+
+func ordering(a, b float64) bool {
+	return a < b // orderings are fine, only exact equality is flagged
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture: comparator-style exact order is intended here
+	return a == b
+}

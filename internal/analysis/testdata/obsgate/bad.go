@@ -1,0 +1,27 @@
+// Fixture: true positives for the obsgate analyzer. Lines marked
+// `want:obsgate` must each produce exactly one diagnostic.
+package fixture
+
+import "repro/internal/obs"
+
+func ungatedCounter(c *Counters) {
+	c.Edges.Inc() // want:obsgate
+}
+
+func ungatedScope(sc *obs.Scope) {
+	sc.Gauge("workers").Set(1) // want:obsgate
+}
+
+func ungatedTimer(t *obs.Timer) {
+	defer t.Start()() // want:obsgate
+}
+
+func ungatedSetCall(c *Counters) {
+	c.publish(7) // want:obsgate
+}
+
+func wrongGate(c *Counters, err error) {
+	if err != nil {
+		c.Edges.Inc() // want:obsgate
+	}
+}

@@ -1,0 +1,76 @@
+// Fixture: clean and correctly gated cases for the obsgate analyzer —
+// none of these lines may produce a diagnostic.
+package fixture
+
+import "repro/internal/obs"
+
+// Counters is a counter set: a struct holding only obs instruments.
+type Counters struct {
+	Edges  *obs.Counter
+	Weight *obs.Gauge
+}
+
+// NewCounters only resolves instruments (lookups are free of the
+// gating contract; a nil scope hands out standalone instruments).
+func NewCounters(sc *obs.Scope) *Counters {
+	return &Counters{
+		Edges:  sc.Counter("edges_examined"),
+		Weight: sc.Gauge("total_weight"),
+	}
+}
+
+// publish records through its own receiver: the nil gate is the
+// caller's obligation, enforced at every call site.
+func (c *Counters) publish(n int64) {
+	c.Edges.Add(n)
+	c.Weight.Set(float64(n))
+}
+
+// load only reads; reads are not recording calls.
+func (c *Counters) load() int64 { return c.Edges.Load() }
+
+func gatedField(c *Counters) {
+	if c != nil {
+		c.Edges.Inc()
+	}
+}
+
+func gatedScope(sc *obs.Scope) {
+	if sc != nil {
+		sc.Counter("nets_routed").Inc()
+	}
+}
+
+func gatedConjunction(c *Counters, n int64) {
+	if c != nil && n > 0 {
+		c.Edges.Add(n)
+	}
+}
+
+func earlyExit(c *Counters) {
+	if c == nil {
+		return
+	}
+	c.Edges.Inc()
+	c.publish(1)
+}
+
+func gatedSetCall(c *Counters) {
+	if c != nil {
+		c.publish(2)
+	}
+}
+
+func gatedInstrument(sc *obs.Scope) {
+	var hist *obs.Histogram
+	if sc != nil {
+		hist = sc.Histogram("net_build_seconds", 0.1, 1)
+	}
+	if hist != nil {
+		hist.Observe(0.5)
+	}
+}
+
+func ungatedRead(c *Counters) int64 {
+	return c.load() // read-only counter-set method needs no gate
+}

@@ -1,0 +1,18 @@
+// Fixture: true positives for the wallclock analyzer (type-checked as
+// if it were a deterministic construction package). Lines marked
+// `want:wallclock` must each produce exactly one diagnostic.
+package fixture
+
+import "time"
+
+func buildTimed() time.Duration {
+	start := time.Now() // want:wallclock
+	work()
+	return time.Since(start) // want:wallclock
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want:wallclock
+}
+
+func work() {}

@@ -1,0 +1,26 @@
+// Fixture: clean cases for the wallclock analyzer — none of these
+// lines may produce a diagnostic.
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// observedBuild times itself through the obs layer: the timer reads
+// the clock inside internal/obs, not inside the construction package.
+func observedBuild(sc *obs.Scope) {
+	if sc != nil {
+		defer sc.Timer("build_seconds").Start()()
+	}
+	work2()
+}
+
+// durations as plain values (no clock read) are fine.
+func budget(d time.Duration) time.Duration { return 2 * d }
+
+//lint:ignore wallclock fixture: demonstrating a justified suppression
+var bootTime = time.Now()
+
+func work2() {}

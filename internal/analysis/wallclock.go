@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockPackages are the deterministic construction packages: for a
+// fixed input they must produce identical trees and identical metric
+// numbers on every run, so nothing in them may depend on when or how
+// fast they execute.
+var wallClockPackages = []string{
+	"repro/internal/core",
+	"repro/internal/mst",
+	"repro/internal/steiner",
+	"repro/internal/baseline",
+	"repro/internal/exchange",
+	"repro/internal/exact",
+	"repro/internal/delay",
+}
+
+// WallClock forbids direct wall-clock reads (time.Now, time.Since,
+// time.Until) inside the deterministic construction packages. Timing
+// those layers is the job of internal/obs timers, which the binaries
+// install from outside the hot path; a clock read inside a
+// construction is either dead weight on the hot path or — worse — a
+// value that can leak into an output and break run-to-run
+// reproducibility.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Until in deterministic construction packages (use internal/obs timers)",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, wallClockPackages...)
+	},
+	Run: runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if isPkgFunc(p, call.Fun, "time", name) {
+					p.Reportf(call.Pos(),
+						"time.%s in a deterministic construction package: route timing through an internal/obs Timer",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -119,6 +119,7 @@ func (st *SizedTree) WireArea() float64 {
 // stopping after maxChanges bumps or when nothing helps. allowed must be
 // an ascending list of widths starting at 1 (minimum width).
 func SizeWires(t *graph.Tree, m Model, allowed []float64, maxChanges int) (*SizedTree, error) {
+	//lint:ignore floatcmp API contract check against an assigned (never computed) width value
 	if len(allowed) == 0 || allowed[0] != 1 {
 		return nil, fmt.Errorf("delay: allowed widths must start at 1, got %v", allowed)
 	}

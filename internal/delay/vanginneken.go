@@ -80,6 +80,7 @@ func VanGinneken(t *graph.Tree, m Model, buf Buffer, maxBuffers int) (*BufferedT
 		// sort by cap ascending, rat descending; keep the RAT frontier
 		// per buffer count (options with more buffers must strictly win)
 		sort.Slice(opts, func(i, j int) bool {
+			//lint:ignore floatcmp a comparator must stay an exact strict weak order; epsilon ties would break sort transitivity
 			if opts[i].cap != opts[j].cap {
 				return opts[i].cap < opts[j].cap
 			}

@@ -33,6 +33,22 @@ func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
 // Scale returns p scaled by factor k about the origin.
 func (p Point) Scale(k float64) Point { return Point{k * p.X, k * p.Y} }
 
+// Eps is the default tolerance for comparing coordinates, weights and
+// wirelengths. Two independently computed distances that are
+// mathematically equal routinely differ in the last ulp (Euclidean
+// mode especially, via math.Hypot), so exact float comparison is
+// forbidden outside this package — the floatcmp analyzer in
+// internal/analysis enforces that — and Eq/EqWithin are the approved
+// helpers.
+const Eps = 1e-9
+
+// EqWithin reports whether a and b are equal within tolerance tol.
+func EqWithin(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Eq reports whether a and b are equal within the default Eps
+// tolerance.
+func Eq(a, b float64) bool { return EqWithin(a, b, Eps) }
+
 // Metric selects the plane metric used for all distances.
 type Metric int
 

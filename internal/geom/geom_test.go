@@ -253,6 +253,26 @@ func TestOnSegment(t *testing.T) {
 	}
 }
 
+func TestEq(t *testing.T) {
+	if !Eq(1.0, 1.0) {
+		t.Error("Eq(1,1) = false")
+	}
+	// one ulp apart around 1.0: mathematically-equal distances computed
+	// two ways typically land here
+	if !Eq(1.0, math.Nextafter(1.0, 2.0)) {
+		t.Error("Eq should absorb a one-ulp difference")
+	}
+	if Eq(1.0, 1.0+1e-6) {
+		t.Error("Eq(1, 1+1e-6) = true; difference above Eps must not collapse")
+	}
+	if !EqWithin(1.0, 1.5, 0.5) {
+		t.Error("EqWithin boundary (|a-b| == tol) should be equal")
+	}
+	if EqWithin(1.0, 1.5001, 0.5) {
+		t.Error("EqWithin(1, 1.5001, 0.5) = true")
+	}
+}
+
 func BenchmarkDistMatrix500(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	pts := make([]Point, 500)

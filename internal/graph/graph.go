@@ -73,6 +73,7 @@ func CompleteEdges(w Weights) []Edge {
 func SortEdges(edges []Edge) {
 	sort.Slice(edges, func(a, b int) bool {
 		ea, eb := edges[a], edges[b]
+		//lint:ignore floatcmp a comparator must stay an exact strict weak order; epsilon ties would break sort transitivity
 		if ea.W != eb.W {
 			return ea.W < eb.W
 		}

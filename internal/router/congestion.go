@@ -61,13 +61,13 @@ func (cm *CongestionMap) addSegment(a, b geom.Point) {
 		return
 	}
 	switch {
-	case a.Y == b.Y: // horizontal
+	case geom.Eq(a.Y, b.Y): // horizontal
 		row := cm.rowOf(a.Y)
 		c0, c1 := cm.colOf(min(a.X, b.X)), cm.colOf(max(a.X, b.X))
 		for c := c0; c <= c1; c++ {
 			cm.Demand[row*cm.Cols+c]++
 		}
-	case a.X == b.X: // vertical
+	case geom.Eq(a.X, b.X): // vertical
 		col := cm.colOf(a.X)
 		r0, r1 := cm.rowOf(min(a.Y, b.Y)), cm.rowOf(max(a.Y, b.Y))
 		for r := r0; r <= r1; r++ {

@@ -134,6 +134,7 @@ type pairHeap []pairItem
 
 func (h pairHeap) Len() int { return len(h) }
 func (h pairHeap) Less(i, j int) bool {
+	//lint:ignore floatcmp heap ordering must stay an exact strict weak order; epsilon ties would corrupt the heap invariant
 	if h[i].d != h[j].d {
 		return h[i].d < h[j].d
 	}

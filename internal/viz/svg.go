@@ -79,7 +79,7 @@ func Tree(w io.Writer, in *inst.Instance, tr *graph.Tree, style Style) error {
 	openSVG(&b, tf)
 	for _, e := range tr.Edges {
 		p, q := in.Point(e.U), in.Point(e.V)
-		if style.Rectilin && in.Metric() == geom.Manhattan && p.X != q.X && p.Y != q.Y {
+		if style.Rectilin && in.Metric() == geom.Manhattan && !geom.Eq(p.X, q.X) && !geom.Eq(p.Y, q.Y) {
 			corner := geom.Point{X: p.X, Y: q.Y}
 			wire(&b, tf, p, corner, style)
 			wire(&b, tf, corner, q, style)

@@ -1,17 +1,27 @@
 // Command checkmetrics validates an observability snapshot written by
-// the -metrics flag of the repository binaries: the file must be valid
-// JSON, unmarshal into obs.Snapshot, and contain at least one scope
-// with at least one instrument. Used by `make metrics-smoke`.
+// the -metrics flag of the repository binaries, so `make metrics-smoke`
+// fails loudly instead of passing vacuously on a malformed file. The
+// file must be valid JSON for exactly the obs.Snapshot shape (unknown
+// fields are rejected), carry an RFC3339 capture timestamp, contain at
+// least one scope with at least one instrument, and be internally
+// consistent: unique non-empty names, non-negative counters and timer
+// counts, ascending histogram bounds, and bucket counts that sum to
+// the histogram count.
 //
 // Usage:
 //
 //	checkmetrics file.json
+//
+// Exit status: 0 when the snapshot is valid, 1 when it is malformed,
+// 2 on usage errors.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -26,22 +36,107 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	summary, err := validate(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: %s\n", path, summary)
+}
+
+// validate checks one snapshot file and returns a one-line summary.
+func validate(data []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var snap obs.Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		fatal(fmt.Errorf("%s: not a valid metrics snapshot: %w", path, err))
+	if err := dec.Decode(&snap); err != nil {
+		return "", fmt.Errorf("not a valid metrics snapshot: %w", err)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, snap.CapturedAt); err != nil {
+		return "", fmt.Errorf("captured_at %q is not an RFC3339 timestamp", snap.CapturedAt)
 	}
 	if len(snap.Scopes) == 0 {
-		fatal(fmt.Errorf("%s: snapshot has no scopes", path))
+		return "", fmt.Errorf("snapshot has no scopes")
 	}
 	instruments := 0
+	seenScopes := map[string]bool{}
 	for _, sc := range snap.Scopes {
-		instruments += len(sc.Counters) + len(sc.Gauges) + len(sc.Timers) + len(sc.Histograms)
+		if sc.Name == "" {
+			return "", fmt.Errorf("snapshot has a scope with an empty name")
+		}
+		if seenScopes[sc.Name] {
+			return "", fmt.Errorf("duplicate scope %q", sc.Name)
+		}
+		seenScopes[sc.Name] = true
+		n, err := validateScope(sc)
+		if err != nil {
+			return "", fmt.Errorf("scope %q: %w", sc.Name, err)
+		}
+		instruments += n
 	}
 	if instruments == 0 {
-		fatal(fmt.Errorf("%s: snapshot has no instruments", path))
+		return "", fmt.Errorf("snapshot has no instruments")
 	}
-	fmt.Printf("%s: ok (%d scopes, %d instruments, captured %s)\n",
-		path, len(snap.Scopes), instruments, snap.CapturedAt)
+	return fmt.Sprintf("ok (%d scopes, %d instruments, captured %s)",
+		len(snap.Scopes), instruments, snap.CapturedAt), nil
+}
+
+func validateScope(sc obs.ScopeSnapshot) (int, error) {
+	seen := map[string]bool{}
+	uniq := func(kind, name string) error {
+		if name == "" {
+			return fmt.Errorf("%s with an empty name", kind)
+		}
+		key := kind + "/" + name
+		if seen[key] {
+			return fmt.Errorf("duplicate %s %q", kind, name)
+		}
+		seen[key] = true
+		return nil
+	}
+	for _, c := range sc.Counters {
+		if err := uniq("counter", c.Name); err != nil {
+			return 0, err
+		}
+		if c.Value < 0 {
+			return 0, fmt.Errorf("counter %q is negative (%d): counters are monotone", c.Name, c.Value)
+		}
+	}
+	for _, g := range sc.Gauges {
+		if err := uniq("gauge", g.Name); err != nil {
+			return 0, err
+		}
+	}
+	for _, t := range sc.Timers {
+		if err := uniq("timer", t.Name); err != nil {
+			return 0, err
+		}
+		if t.Count < 0 || t.TotalSeconds < 0 || t.MeanSeconds < 0 {
+			return 0, fmt.Errorf("timer %q has negative count or duration", t.Name)
+		}
+	}
+	for _, h := range sc.Histograms {
+		if err := uniq("histogram", h.Name); err != nil {
+			return 0, err
+		}
+		var bucketSum int64
+		for i, b := range h.Buckets {
+			if b.Count < 0 {
+				return 0, fmt.Errorf("histogram %q bucket le=%g has negative count", h.Name, b.Le)
+			}
+			if i > 0 && b.Le <= h.Buckets[i-1].Le {
+				return 0, fmt.Errorf("histogram %q bounds are not ascending at le=%g", h.Name, b.Le)
+			}
+			bucketSum += b.Count
+		}
+		if h.Overflow < 0 {
+			return 0, fmt.Errorf("histogram %q has negative overflow", h.Name)
+		}
+		if bucketSum+h.Overflow != h.Count {
+			return 0, fmt.Errorf("histogram %q buckets sum to %d but count is %d",
+				h.Name, bucketSum+h.Overflow, h.Count)
+		}
+	}
+	return len(sc.Counters) + len(sc.Gauges) + len(sc.Timers) + len(sc.Histograms), nil
 }
 
 func fatal(err error) {

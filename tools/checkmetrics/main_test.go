@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// realSnapshot builds a snapshot the way the binaries do, through a
+// live registry, and returns its JSON.
+func realSnapshot(t *testing.T) []byte {
+	t.Helper()
+	r := obs.NewRegistry()
+	sc := r.Scope("core")
+	sc.Counter("edges_examined").Add(42)
+	sc.Gauge("total_weight").Set(12.5)
+	sc.Timer("build_seconds").Observe(1500)
+	sc.Histogram("net_build_seconds", 0.1, 1).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestValidateAcceptsRealSnapshot(t *testing.T) {
+	summary, err := validate(realSnapshot(t))
+	if err != nil {
+		t.Fatalf("validate(real snapshot) = %v", err)
+	}
+	if !strings.Contains(summary, "1 scopes, 4 instruments") {
+		t.Errorf("summary = %q, want 1 scope / 4 instruments", summary)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	ts := `"captured_at": "2026-08-05T12:00:00Z"`
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty file", ``, "not a valid metrics snapshot"},
+		{"not json", `][`, "not a valid metrics snapshot"},
+		{"wrong shape", `{"foo": 1}`, "not a valid metrics snapshot"},
+		{"no timestamp", `{"scopes": [{"name": "core", "counters": [{"name": "x", "value": 1}]}]}`,
+			"not an RFC3339 timestamp"},
+		{"no scopes", `{` + ts + `, "scopes": []}`, "no scopes"},
+		{"empty scope name", `{` + ts + `, "scopes": [{"name": ""}]}`, "empty name"},
+		{"duplicate scopes", `{` + ts + `, "scopes": [
+			{"name": "core", "counters": [{"name": "x", "value": 1}]},
+			{"name": "core", "counters": [{"name": "y", "value": 1}]}]}`, "duplicate scope"},
+		{"no instruments", `{` + ts + `, "scopes": [{"name": "core"}]}`, "no instruments"},
+		{"negative counter", `{` + ts + `, "scopes": [
+			{"name": "core", "counters": [{"name": "x", "value": -3}]}]}`, "negative"},
+		{"duplicate counter", `{` + ts + `, "scopes": [
+			{"name": "core", "counters": [{"name": "x", "value": 1}, {"name": "x", "value": 2}]}]}`,
+			"duplicate counter"},
+		{"negative timer", `{` + ts + `, "scopes": [
+			{"name": "core", "timers": [{"name": "t", "count": -1, "total_seconds": 0, "mean_seconds": 0}]}]}`,
+			"negative count"},
+		{"histogram sum mismatch", `{` + ts + `, "scopes": [
+			{"name": "core", "histograms": [{"name": "h", "count": 5, "sum": 1,
+				"buckets": [{"le": 0.1, "count": 1}, {"le": 1, "count": 1}], "overflow": 1}]}]}`,
+			"buckets sum to 3 but count is 5"},
+		{"histogram bounds not ascending", `{` + ts + `, "scopes": [
+			{"name": "core", "histograms": [{"name": "h", "count": 2, "sum": 1,
+				"buckets": [{"le": 1, "count": 1}, {"le": 0.1, "count": 1}], "overflow": 0}]}]}`,
+			"not ascending"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := validate([]byte(c.in))
+			if err == nil {
+				t.Fatalf("validate(%s) accepted a malformed snapshot", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error = %q, want it to mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

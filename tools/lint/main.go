@@ -1,0 +1,57 @@
+// Command lint runs the repository's domain-invariant analyzers
+// (floatcmp, maporder, wallclock, obsgate — see internal/analysis)
+// over the packages matching the given patterns and prints one
+// file:line:col diagnostic per finding. It exits 0 on a clean tree, 1
+// when there are findings, and 2 on usage or load errors.
+//
+// Usage:
+//
+//	lint [-list] [packages]
+//
+// With no patterns it lints ./... . Findings are suppressed per line
+// with `//lint:ignore <analyzer> <reason>`; see the "Code invariants"
+// section of the README for what each analyzer enforces and when a
+// suppression is legitimate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lint [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := analysis.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
