@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench quick experiments examples cover fuzz metrics-smoke clean
+.PHONY: all build test vet lint conformance race bench quick experiments examples cover fuzz metrics-smoke clean
 
-all: build vet lint test
+all: build vet lint test conformance
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# cross-algorithm conformance: every constructor in the internal/engine
+# registry builds valid, bound-feasible, byte-deterministic trees on the
+# shared fixtures
+conformance:
+	$(GO) test -run 'TestConformance|TestCancel|TestSweep' -v ./internal/engine/
 
 # the whole suite under the race detector (the obs layer and the
 # parallel router are the concurrency-heavy parts)

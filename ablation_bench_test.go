@@ -11,6 +11,8 @@ package bpmst
 //     the O(V²) total merge bookkeeping possible).
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -52,7 +54,7 @@ func benchmarkExchangeDepth(b *testing.B, depth int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: depth}); err != nil {
+		if _, err := exchange.Improve(context.Background(), in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: depth}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +96,7 @@ func BenchmarkAblationExactGabow15(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exact.BMSTG(n.in, 0.2, exact.Options{MaxTrees: 100000}); err != nil && err != exact.ErrBudget {
+		if _, err := exact.BMSTG(context.Background(), n.in, 0.2, exact.Options{MaxTrees: 100000}); err != nil && err != exact.ErrBudget {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +107,7 @@ func BenchmarkAblationExactBKEX15(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exchange.BKEX(n.in, 0.2, 6); err != nil {
+		if _, err := exchange.BKEX(context.Background(), n.in, 0.2, 6); err != nil {
 			b.Fatal(err)
 		}
 	}

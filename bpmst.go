@@ -1,6 +1,8 @@
 package bpmst
 
 import (
+	"context"
+
 	"errors"
 	"math"
 
@@ -255,7 +257,7 @@ type GabowOptions struct {
 // enumeration of spanning trees in nondecreasing cost (§4). Exponential
 // space in the worst case; intended for nets of up to ~15 sinks.
 func BMSTG(n *Net, eps float64, opt GabowOptions) (*Tree, error) {
-	t, err := exact.BMSTG(n.in, eps, exact.Options{MaxTrees: opt.MaxTrees, DisableLemmas: opt.DisableLemmas})
+	t, err := exact.BMSTG(context.Background(), n.in, eps, exact.Options{MaxTrees: opt.MaxTrees, DisableLemmas: opt.DisableLemmas})
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -265,7 +267,7 @@ func BMSTG(n *Net, eps float64, opt GabowOptions) (*Tree, error) {
 // BMSTGLU is BMSTG with both lower and upper path length bounds.
 func BMSTGLU(n *Net, eps1, eps2 float64, opt GabowOptions) (*Tree, error) {
 	b := core.LowerUpper(n.in, eps1, eps2)
-	t, err := exact.BMSTGBounds(n.in, b, exact.Options{MaxTrees: opt.MaxTrees, DisableLemmas: opt.DisableLemmas})
+	t, err := exact.BMSTGBounds(context.Background(), n.in, b, exact.Options{MaxTrees: opt.MaxTrees, DisableLemmas: opt.DisableLemmas})
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -277,7 +279,7 @@ func BMSTGLU(n *Net, eps1, eps2 float64, opt GabowOptions) (*Tree, error) {
 // length per search (0 = V-1, which loses no solutions; the paper found
 // depth 6 sufficient on all 2750 random benchmarks).
 func BKEX(n *Net, eps float64, maxDepth int) (*Tree, error) {
-	t, err := exchange.BKEX(n.in, eps, maxDepth)
+	t, err := exchange.BKEX(context.Background(), n.in, eps, maxDepth)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -287,7 +289,7 @@ func BKEX(n *Net, eps float64, maxDepth int) (*Tree, error) {
 // BKH2 runs the paper's depth-2 exchange heuristic (§5): a deeper local
 // optimum than BKRUS at O(E²V³).
 func BKH2(n *Net, eps float64) (*Tree, error) {
-	t, err := exchange.BKH2(n.in, eps)
+	t, err := exchange.BKH2(context.Background(), n.in, eps)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -298,7 +300,7 @@ func BKH2(n *Net, eps float64) (*Tree, error) {
 // chained exchanges, 0 = V-1) to an existing bounded tree, returning an
 // equal-or-cheaper tree within the same eps bound.
 func Improve(t *Tree, eps float64, maxDepth int) (*Tree, error) {
-	res, err := exchange.Improve(t.net.in, t.t, core.UpperOnly(t.net.in, eps), exchange.Options{MaxDepth: maxDepth})
+	res, err := exchange.Improve(context.Background(), t.net.in, t.t, core.UpperOnly(t.net.in, eps), exchange.Options{MaxDepth: maxDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +340,7 @@ func ElmoreStarR(n *Net, m RCModel) float64 {
 // delay bound — exchanges reduce wirelength while the worst source-sink
 // delay stays within (1+eps)·R.
 func BKH2Elmore(n *Net, eps float64, m RCModel) (*Tree, error) {
-	t, err := delay.BKH2Elmore(n.in, eps, m)
+	t, err := delay.BKH2Elmore(context.Background(), n.in, eps, m)
 	if err != nil {
 		return nil, wrapErr(err)
 	}

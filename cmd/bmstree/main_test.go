@@ -1,15 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/obs"
-
-	bpmst "repro"
+	"repro/internal/viz"
 )
 
 func TestLoadInstanceSelectors(t *testing.T) {
@@ -48,29 +49,42 @@ func TestLoadInstanceFile(t *testing.T) {
 	}
 }
 
-func TestBuildTreeAlgorithms(t *testing.T) {
+// TestEngineDispatch drives the registry with the Params struct the CLI
+// fills, over every spanning algorithm the CLI's flag set can select.
+func TestEngineDispatch(t *testing.T) {
 	in, err := loadInstance("", "", 6, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := engine.Params{Eps: 0.3, Eps1: 0, Eps2: 0.3, AHHKC: 0.5, ExchangeDepth: 2}
 	algos := []string{"mst", "spt", "maxst", "bkrus", "bkruslu", "bprim", "brbc",
 		"bkh2", "bkex", "bmstg", "elmore", "bkh2elmore", "ahhk"}
 	for _, a := range algos {
-		tr, err := buildTree(net, a, 0.3, 0, 0.3, 2)
+		res, err := engine.Build(context.Background(), a, in, p)
 		if err != nil {
 			t.Errorf("%s: %v", a, err)
 			continue
 		}
-		if err := tr.Validate(); err != nil {
+		if err := res.Tree.Validate(); err != nil {
 			t.Errorf("%s: invalid tree: %v", a, err)
 		}
 	}
-	if _, err := buildTree(net, "bogus", 0.3, 0, 0.3, 0); err == nil {
+	if _, err := engine.Build(context.Background(), "bogus", in, p); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSkew(t *testing.T) {
+	in, err := loadInstance("", "p3", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Build(context.Background(), "spt", in, engine.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := skew(res.Tree); s <= 0 {
+		t.Errorf("SPT skew on p3 = %g, want > 0", s)
 	}
 }
 
@@ -87,12 +101,8 @@ func TestMetricsReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
-	if err != nil {
-		t.Fatal(err)
-	}
 	stop := startBuildTimer()
-	if _, err := buildTree(net, "bkrus", 0.2, 0, 0, 0); err != nil {
+	if _, err := engine.Build(context.Background(), "bkrus", in, engine.Params{Eps: 0.2}); err != nil {
 		t.Fatal(err)
 	}
 	stop()
@@ -132,21 +142,20 @@ func TestMetricsReport(t *testing.T) {
 	}
 }
 
-func TestWriteTreeSVGFile(t *testing.T) {
+func TestWriteSVGFile(t *testing.T) {
 	in, err := loadInstance("", "", 4, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := bpmst.NewNet(in.Source(), in.Sinks(), in.Metric())
-	if err != nil {
-		t.Fatal(err)
-	}
-	tree, err := buildTree(net, "bkrus", 0.2, 0, 0, 0)
+	res, err := engine.Build(context.Background(), "bkrus", in, engine.Params{Eps: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "out.svg")
-	if err := writeTreeSVG(path, tree); err != nil {
+	err = writeSVG(path, func(f *os.File) error {
+		return viz.Tree(f, in, res.Tree, viz.DefaultStyle())
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

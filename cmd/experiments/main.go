@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-cases N] [-xbudget N] [-gbudget N] [-run ID]...
+//	experiments [-quick] [-cases N] [-xbudget N] [-gbudget N] [-timeout D] [-run ID]...
 //
 // Each -run selects one experiment: 1-5 for Tables 1-5, f1/f9/f10/f11/
 // f12/f13 for the figures, depth for the BKEX depth study, lemmas for
 // the Lemma 4.1-4.3 ablation, elmore for the §3.2 delay study, or all
 // (default). -quick shrinks grids and case counts so the full suite
 // finishes in seconds; without it the paper's full grids run, which
-// takes hours on the largest benchmarks.
+// takes hours on the largest benchmarks. -timeout cancels the run's
+// context after the given duration; every construction aborts at its
+// next cancellation check.
 //
 // Observability (see OBSERVABILITY.md): -metrics file.json dumps
 // per-experiment wall times plus the accumulated construction counters
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,7 @@ func main() {
 		cases   = flag.Int("cases", 0, "random cases per configuration (0 = 50, or 10 with -quick)")
 		xbudget = flag.Int("xbudget", 0, "exchange expansion budget for BKH2/BKEX on large nets (0 = default)")
 		gbudget = flag.Int("gbudget", 0, "spanning tree budget for the exact enumeration (0 = default)")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		csv     = flag.Bool("csv", false, "render tables as CSV for downstream plotting")
 
 		pprofFile = flag.String("pprof", "", "write a CPU profile to this file")
@@ -55,8 +59,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := experiments.Config{
 		Out:            os.Stdout,
+		Ctx:            ctx,
 		Quick:          *quick,
 		Cases:          *cases,
 		ExchangeBudget: *xbudget,

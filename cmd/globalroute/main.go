@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -44,6 +45,7 @@ func main() {
 		grid     = flag.Int("grid", 16, "gcell grid dimension for congestion")
 		capacity = flag.Int("capacity", 0, "gcell capacity for overflow accounting (0 = skip)")
 		workers  = flag.Int("workers", 0, "route nets concurrently with this many workers (0 = NumCPU)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		heatmap  = flag.String("heatmap", "", "write an SVG congestion heatmap of the bounded policy to this file")
 
 		pprofFile = flag.String("pprof", "", "write a CPU profile to this file")
@@ -67,6 +69,13 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	policies := []router.Policy{
 		router.SPTPolicy(),
 		router.BKRUSPolicy(*eps),
@@ -76,7 +85,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "policy\ttotal wire\tworst path/R\tmean path/R\tpeak gcell\toverflow")
 	for _, p := range policies {
-		res, err := router.RouteParallel(nl, p, *workers)
+		res, err := router.RouteParallel(ctx, nl, p, router.Options{Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +105,7 @@ func main() {
 		fatal(err)
 	}
 	if *heatmap != "" {
-		res, err := router.RouteParallel(nl, router.BKRUSPolicy(*eps), *workers)
+		res, err := router.RouteParallel(ctx, nl, router.BKRUSPolicy(*eps), router.Options{Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -65,7 +66,7 @@ func main() {
 
 	// congestion heatmap of a routed demo design
 	nl := demoDesign()
-	res, err := router.Route(nl, router.BKRUSPolicy(0.2))
+	res, err := router.Route(context.Background(), nl, router.BKRUSPolicy(0.2))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -158,6 +158,8 @@ func TestAppliesTo(t *testing.T) {
 		{FloatCmp, "repro", true},
 		{WallClock, "repro/internal/core", true},
 		{WallClock, "repro/internal/steiner", true},
+		{WallClock, "repro/internal/engine", true}, // dispatch must stay deterministic
+		{WallClock, "repro/internal/cancel", true},
 		{WallClock, "repro/internal/router", false}, // times its own parallel runs
 		{WallClock, "repro/internal/experiments", false},
 		{ObsGate, "repro/internal/router", true},

@@ -16,6 +16,8 @@ var wallClockPackages = []string{
 	"repro/internal/exchange",
 	"repro/internal/exact",
 	"repro/internal/delay",
+	"repro/internal/engine",
+	"repro/internal/cancel",
 }
 
 // WallClock forbids direct wall-clock reads (time.Now, time.Since,

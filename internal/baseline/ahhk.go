@@ -1,9 +1,11 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/inst"
 )
@@ -21,6 +23,12 @@ import (
 // Unlike BKRUS it offers no hard guarantee on the longest path — the
 // paper compares against it as the best prior trade-off heuristic.
 func AHHK(in *inst.Instance, c float64) (*graph.Tree, error) {
+	return AHHKBuild(context.Background(), in, c)
+}
+
+// AHHKBuild is AHHK with a context polled once per attachment, so the
+// O(n²) growth loop aborts within one relaxation sweep of cancellation.
+func AHHKBuild(ctx context.Context, in *inst.Instance, c float64) (*graph.Tree, error) {
 	if c < 0 || c > 1 || math.IsNaN(c) {
 		return nil, fmt.Errorf("baseline: AHHK parameter c = %g outside [0,1]", c)
 	}
@@ -39,7 +47,11 @@ func AHHK(in *inst.Instance, c float64) (*graph.Tree, error) {
 		score[v] = dm.At(graph.Source, v) // u = S: c·0 + dist
 		from[v] = graph.Source
 	}
+	chk := cancel.New(ctx, 1)
 	for k := 1; k < n; k++ {
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 		v := -1
 		for j := 1; j < n; j++ {
 			if !inTree[j] && (v == -1 || score[j] < score[v]) {

@@ -29,9 +29,11 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/inst"
 	"repro/internal/mst"
@@ -43,10 +45,13 @@ import (
 // for eps ≥ 0. When a default obs registry is installed the
 // construction records into its "baseline" scope.
 func BPRIM(in *inst.Instance, eps float64) (*graph.Tree, error) {
-	return bprim(in, eps, defaultCounters())
+	return BPRIMBuild(context.Background(), in, eps, defaultCounters())
 }
 
-func bprim(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
+// BPRIMBuild is BPRIM with an explicit counter set (nil = counting off)
+// and a context polled once per attachment, so an O(n²) construction
+// aborts within one relaxation sweep of cancellation.
+func BPRIMBuild(ctx context.Context, in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("baseline: negative eps %g", eps)
 	}
@@ -85,7 +90,11 @@ func bprim(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 		}
 	}
 	relax(graph.Source)
+	chk := cancel.New(ctx, 1)
 	for k := 1; k < n; k++ {
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 		v := -1
 		for j := 0; j < n; j++ {
 			if !inTree[j] && bestFrom[j] != -1 && (v == -1 || best[j] < best[v]) {
@@ -115,16 +124,23 @@ func bprim(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 // When a default obs registry is installed the construction records
 // into its "baseline" scope.
 func BRBC(in *inst.Instance, eps float64) (*graph.Tree, error) {
-	return brbc(in, eps, defaultCounters())
+	return BRBCBuild(context.Background(), in, eps, defaultCounters())
 }
 
-func brbc(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
+// BRBCBuild is BRBC with an explicit counter set (nil = counting off)
+// and a context polled at each construction phase (after the MST,
+// after the tour), bounding post-cancellation work to one phase.
+func BRBCBuild(ctx context.Context, in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("baseline: negative eps %g", eps)
 	}
+	chk := cancel.New(ctx, 1)
 	dm := in.DistMatrix()
 	n := in.N()
 	m := mst.Kruskal(dm)
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
 	if math.IsInf(eps, 1) || n <= 2 {
 		if c != nil {
 			c.BRBCMSTReturns.Inc()
@@ -163,6 +179,9 @@ func brbc(in *inst.Instance, eps float64, c *Counters) (*graph.Tree, error) {
 		}
 	}
 	dfs(graph.Source)
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
 
 	augmented := append([]graph.Edge(nil), m.Edges...)
 	var shortcuts int64

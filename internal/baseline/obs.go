@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"repro/internal/graph"
-	"repro/internal/inst"
 	"repro/internal/obs"
 )
 
@@ -48,28 +46,6 @@ func NewCounters(sc *obs.Scope) *Counters {
 		BRBCShortcuts:        sc.Counter(CtrBRBCShortcuts),
 		BRBCMSTReturns:       sc.Counter(CtrBRBCMSTReturns),
 	}
-}
-
-// BPRIMObserved is BPRIM recording construction metrics into an explicit
-// obs scope. A nil scope turns recording off; the tree is identical
-// either way.
-func BPRIMObserved(in *inst.Instance, eps float64, sc *obs.Scope) (*graph.Tree, error) {
-	var c *Counters
-	if sc != nil {
-		c = NewCounters(sc)
-	}
-	return bprim(in, eps, c)
-}
-
-// BRBCObserved is BRBC recording construction metrics into an explicit
-// obs scope. A nil scope turns recording off; the tree is identical
-// either way.
-func BRBCObserved(in *inst.Instance, eps float64, sc *obs.Scope) (*graph.Tree, error) {
-	var c *Counters
-	if sc != nil {
-		c = NewCounters(sc)
-	}
-	return brbc(in, eps, c)
 }
 
 // defaultCounters resolves the instrument set from the process default

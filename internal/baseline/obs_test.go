@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,11 +9,12 @@ import (
 	"repro/internal/obs"
 )
 
-// Observed baseline builds must match the plain constructions and
-// record relaxation/shortcut counters.
-func TestBaselineObservedMatchesPlain(t *testing.T) {
+// Explicit-counter baseline builds must match the plain constructions
+// and record relaxation/shortcut counters.
+func TestBaselineBuildCountersMatchPlain(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	in := randomInstance(rng, 25, 100)
+	ctx := context.Background()
 
 	plainP, err := BPRIM(in, 0.2)
 	if err != nil {
@@ -20,7 +22,7 @@ func TestBaselineObservedMatchesPlain(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	sc := reg.Scope(ScopeName)
-	obsP, err := BPRIMObserved(in, 0.2, sc)
+	obsP, err := BPRIMBuild(ctx, in, 0.2, NewCounters(sc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestBaselineObservedMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obsB, err := BRBCObserved(in, 0.1, sc)
+	obsB, err := BRBCBuild(ctx, in, 0.1, NewCounters(sc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,21 +53,21 @@ func TestBaselineObservedMatchesPlain(t *testing.T) {
 	}
 
 	// eps = +Inf short-circuits to the MST and says so.
-	if _, err := BRBCObserved(in, math.Inf(1), sc); err != nil {
+	if _, err := BRBCBuild(ctx, in, math.Inf(1), NewCounters(sc)); err != nil {
 		t.Fatal(err)
 	}
 	if sc.Counter(CtrBRBCMSTReturns).Load() != 1 {
 		t.Error("MST return not recorded")
 	}
 
-	// Nil scopes disable recording without changing results.
-	silentP, err := BPRIMObserved(in, 0.2, nil)
+	// Nil counter sets disable recording without changing results.
+	silentP, err := BPRIMBuild(ctx, in, 0.2, nil)
 	if err != nil || silentP.Cost() != plainP.Cost() {
-		t.Errorf("nil-scope BPRIM differs: %v", err)
+		t.Errorf("nil-counter BPRIM differs: %v", err)
 	}
-	silentB, err := BRBCObserved(in, 0.1, nil)
+	silentB, err := BRBCBuild(ctx, in, 0.1, nil)
 	if err != nil || silentB.Cost() != plainB.Cost() {
-		t.Errorf("nil-scope BRBC differs: %v", err)
+		t.Errorf("nil-counter BRBC differs: %v", err)
 	}
 }
 

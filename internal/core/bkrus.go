@@ -21,11 +21,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/inst"
 	"repro/internal/obs"
@@ -121,22 +123,108 @@ func BKRUSLU(in *inst.Instance, eps1, eps2 float64) (*graph.Tree, error) {
 // BKRUSBounds runs the bounded Kruskal construction for an arbitrary
 // absolute bound window.
 func BKRUSBounds(in *inst.Instance, b Bounds) (*graph.Tree, error) {
+	return BKRUSBuild(context.Background(), in, b, Config{})
+}
+
+// Config carries the optional hooks of one BKRUS construction.
+type Config struct {
+	// Counters receives the construction's event counts. nil keeps the
+	// historical opportunistic behaviour: count into the process default
+	// registry's core scope when one is installed, otherwise count
+	// nothing.
+	Counters *Counters
+	// Scratch, when non-nil, supplies the O(n²) working buffers and the
+	// sorted edge list, reused across runs instead of re-allocated. The
+	// scratch must not be shared between concurrent constructions.
+	Scratch *Scratch
+}
+
+// BKRUSBuild is the full-control entry point behind every BKRUS variant:
+// arbitrary bound window, explicit counters, pooled scratch, and a
+// context checked periodically inside the edge scan so sweeps and
+// servers can enforce deadlines. A cancelled ctx surfaces as ctx.Err()
+// within a bounded number of edge examinations.
+func BKRUSBuild(ctx context.Context, in *inst.Instance, b Bounds, cfg Config) (*graph.Tree, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	e := newEngine(in, b)
-	return e.run()
+	e := newEngine(in, b, cfg)
+	return e.run(ctx)
+}
+
+// Scratch holds the reusable working state of the BKRUS engine: the
+// O(n²) P-matrix, the radius and witness-order buffers, the disjoint
+// set, and the sorted complete-graph edge list (cached per instance,
+// which is immutable, so an ε-sweep over one instance sorts its edges
+// once). A zero Scratch is ready to use; it grows to the largest
+// instance it has served and is not safe for concurrent use.
+type Scratch struct {
+	p      []float64
+	r      []float64
+	byBase [][]int
+	ds     *graph.DisjointSet
+
+	edges    []graph.Edge
+	edgesFor *inst.Instance
+}
+
+// sortedEdges returns the complete-graph edges of in sorted by weight,
+// recomputing only when the instance changes.
+func (s *Scratch) sortedEdges(in *inst.Instance, dm graph.Weights) []graph.Edge {
+	if s.edgesFor != in {
+		s.edges = graph.CompleteEdges(dm)
+		graph.SortEdges(s.edges)
+		s.edgesFor = in
+	}
+	return s.edges
+}
+
+// attach points the engine's buffers at the scratch, growing and
+// resetting them for an n-node instance.
+func (s *Scratch) attach(e *engine, n int) {
+	if cap(s.p) < n*n {
+		s.p = make([]float64, n*n)
+	} else {
+		s.p = s.p[:n*n]
+		for i := range s.p {
+			s.p[i] = 0
+		}
+	}
+	if cap(s.r) < n {
+		s.r = make([]float64, n)
+	} else {
+		s.r = s.r[:n]
+		for i := range s.r {
+			s.r[i] = 0
+		}
+	}
+	if cap(s.byBase) < n {
+		s.byBase = make([][]int, n)
+	} else {
+		s.byBase = s.byBase[:n]
+	}
+	for x := 0; x < n; x++ {
+		s.byBase[x] = append(s.byBase[x][:0], x)
+	}
+	if s.ds == nil || s.ds.Len() != n {
+		s.ds = graph.NewDisjointSet(n)
+	} else {
+		s.ds.Reset()
+	}
+	e.p, e.r, e.byBase, e.ds = s.p, s.r, s.byBase, s.ds
 }
 
 // engine carries the BKRUS working state for one construction.
 type engine struct {
-	n     int
-	dm    graph.Weights
-	b     Bounds
-	p     []float64 // P[x][y] flattened: in-forest path lengths, 0 across trees
-	r     []float64 // radius of each node within its partial tree
-	ds    *graph.DisjointSet
-	c     *Counters // optional instrumentation (nil = off)
+	n       int
+	dm      graph.Weights
+	b       Bounds
+	p       []float64 // P[x][y] flattened: in-forest path lengths, 0 across trees
+	r       []float64 // radius of each node within its partial tree
+	ds      *graph.DisjointSet
+	c       *Counters    // optional instrumentation (nil = off)
+	scratch *Scratch     // optional pooled buffers (nil = own allocations)
+	edges   []graph.Edge // complete-graph edges, sorted by weight
 	// byBase[rep] lists the members of the set named rep in ascending
 	// order of witnessBase = dist(S,x) + r[x] (lower-bound-ineligible
 	// members, base = +Inf, sort last). Since radius_M(x) >= r[x] for any
@@ -146,26 +234,36 @@ type engine struct {
 	byBase [][]int
 }
 
-func newEngine(in *inst.Instance, b Bounds) *engine {
+func newEngine(in *inst.Instance, b Bounds, cfg Config) *engine {
 	n := in.N()
 	e := &engine{
-		n:      n,
-		dm:     in.DistMatrix(),
-		b:      b,
-		p:      make([]float64, n*n),
-		r:      make([]float64, n),
-		ds:     graph.NewDisjointSet(n),
-		byBase: make([][]int, n),
+		n:       n,
+		dm:      in.DistMatrix(),
+		b:       b,
+		c:       cfg.Counters,
+		scratch: cfg.Scratch,
 	}
-	for x := 0; x < n; x++ {
-		e.byBase[x] = []int{x}
+	if e.scratch != nil {
+		e.scratch.attach(e, n)
+		e.edges = e.scratch.sortedEdges(in, e.dm)
+	} else {
+		e.p = make([]float64, n*n)
+		e.r = make([]float64, n)
+		e.ds = graph.NewDisjointSet(n)
+		e.byBase = make([][]int, n)
+		for x := 0; x < n; x++ {
+			e.byBase[x] = []int{x}
+		}
+		e.edges = graph.CompleteEdges(e.dm)
+		graph.SortEdges(e.edges)
 	}
-	// Opportunistic instrumentation: when a binary has installed a
-	// process-wide registry, accumulate counters into its core scope.
-	// Callers needing per-run isolation or an explicit scope overwrite
-	// e.c after construction (BKRUSWithStats, BKRUSObserved).
-	if sc := obs.DefaultScope(ScopeName); sc != nil {
-		e.c = NewCounters(sc)
+	// Opportunistic instrumentation: when no explicit counter set was
+	// given and a binary has installed a process-wide registry,
+	// accumulate counters into its core scope.
+	if e.c == nil {
+		if sc := obs.DefaultScope(ScopeName); sc != nil {
+			e.c = NewCounters(sc)
+		}
 	}
 	return e
 }
@@ -182,13 +280,20 @@ func (e *engine) witnessBase(x int) float64 {
 
 func (e *engine) path(x, y int) float64 { return e.p[x*e.n+y] }
 
-func (e *engine) run() (*graph.Tree, error) {
-	edges := graph.CompleteEdges(e.dm)
-	graph.SortEdges(edges)
+// cancelStride is how many candidate edges the scan examines between
+// context polls; small enough that cancellation lands promptly even on
+// instances where each examination triggers a long witness scan.
+const cancelStride = 64
+
+func (e *engine) run(ctx context.Context) (*graph.Tree, error) {
+	chk := cancel.New(ctx, cancelStride)
 	t := graph.NewTree(e.n)
-	for _, ed := range edges {
+	for _, ed := range e.edges {
 		if len(t.Edges) == e.n-1 {
 			break // early exit after V-1 unions
+		}
+		if err := chk.Tick(); err != nil {
+			return nil, err
 		}
 		if e.c != nil {
 			e.c.EdgesExamined.Inc()
@@ -337,10 +442,13 @@ func (e *engine) merge(ed graph.Edge) {
 }
 
 // refreshByBase re-sorts the merged set's members by witness base,
-// called after Union (radii changed during the merge).
+// called after Union (radii changed during the merge). The merged list
+// is copied into the representative's existing byBase buffer, so a
+// pooled engine stops growing once the buffers reach steady state.
 func (e *engine) refreshByBase(member int) {
 	rep := e.ds.Find(member)
-	members := append([]int(nil), e.ds.Members(rep)...)
+	members := e.byBase[rep][:0]
+	members = append(members, e.ds.Members(rep)...)
 	sort.Slice(members, func(i, j int) bool {
 		return e.witnessBase(members[i]) < e.witnessBase(members[j])
 	})

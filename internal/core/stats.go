@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -94,26 +95,7 @@ func (s BuildStats) String() string {
 // stats describe exactly this construction even when a default registry
 // is installed.
 func BKRUSWithStats(in *inst.Instance, b Bounds) (*graph.Tree, BuildStats, error) {
-	if err := b.Validate(); err != nil {
-		return nil, BuildStats{}, err
-	}
-	e := newEngine(in, b)
 	c := NewCounters(nil)
-	e.c = c
-	t, err := e.run()
+	t, err := BKRUSBuild(context.Background(), in, b, Config{Counters: c})
 	return t, c.stats(), err
-}
-
-// BKRUSObserved is BKRUSBounds recording construction counters into sc.
-// The scope may be shared across runs — counts accumulate — and may be
-// nil, which turns counting off.
-func BKRUSObserved(in *inst.Instance, b Bounds, sc *obs.Scope) (*graph.Tree, error) {
-	if err := b.Validate(); err != nil {
-		return nil, err
-	}
-	e := newEngine(in, b)
-	if sc != nil {
-		e.c = NewCounters(sc)
-	}
-	return e.run()
 }

@@ -1,15 +1,17 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
-// BKRUSObserved must produce the same tree as BKRUSBounds and record
-// exactly the counts BKRUSWithStats reports for the same instance.
-func TestBKRUSObservedMatchesWithStats(t *testing.T) {
+// BKRUSBuild with explicit counters must produce the same tree as
+// BKRUSBounds and record exactly the counts BKRUSWithStats reports for
+// the same instance.
+func TestBKRUSBuildCountersMatchWithStats(t *testing.T) {
 	in := bench.P3()
 	b := UpperOnly(in, 0.25)
 
@@ -24,14 +26,14 @@ func TestBKRUSObservedMatchesWithStats(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	sc := reg.Scope(ScopeName)
-	observed, err := BKRUSObserved(in, b, sc)
+	c := NewCounters(sc)
+	observed, err := BKRUSBuild(context.Background(), in, b, Config{Counters: c})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if observed.Cost() != plain.Cost() || len(observed.Edges) != len(plain.Edges) {
 		t.Errorf("observed tree differs: cost %v vs %v", observed.Cost(), plain.Cost())
 	}
-	c := NewCounters(sc)
 	got := c.stats()
 	if got != st {
 		t.Errorf("observed counters %+v differ from WithStats %+v", got, st)
@@ -42,11 +44,38 @@ func TestBKRUSObservedMatchesWithStats(t *testing.T) {
 	if got.EdgesExamined == 0 || got.WitnessScans == 0 {
 		t.Errorf("hot-path counters empty: %+v", got)
 	}
+}
 
-	// A nil scope turns counting off and still builds the same tree.
-	silent, err := BKRUSObserved(in, b, nil)
-	if err != nil || silent.Cost() != plain.Cost() {
-		t.Errorf("nil-scope build differs: %v %v", silent, err)
+// A pooled Scratch must yield byte-identical trees across reuse, across
+// differing instances, and across bound windows.
+func TestBKRUSBuildScratchReuse(t *testing.T) {
+	var s Scratch
+	ctx := context.Background()
+	for _, in := range []*struct {
+		name string
+		eps  float64
+	}{{"p3", 0.1}, {"p3", 0.4}, {"p4", 0.2}, {"p3", 0.1}} {
+		inst, ok := bench.ByName(in.name)
+		if !ok {
+			t.Fatalf("unknown fixture %q", in.name)
+		}
+		b := UpperOnly(inst, in.eps)
+		want, err := BKRUSBounds(inst, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BKRUSBuild(ctx, inst, b, Config{Scratch: &s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Edges) != len(want.Edges) {
+			t.Fatalf("%s eps=%g: edge count %d vs %d", in.name, in.eps, len(got.Edges), len(want.Edges))
+		}
+		for i := range got.Edges {
+			if got.Edges[i] != want.Edges[i] {
+				t.Fatalf("%s eps=%g: edge %d differs: %v vs %v", in.name, in.eps, i, got.Edges[i], want.Edges[i])
+			}
+		}
 	}
 }
 

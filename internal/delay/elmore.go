@@ -16,10 +16,12 @@
 package delay
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/inst"
 )
@@ -194,6 +196,13 @@ var ErrInfeasible = errors.New("delay: no spanning tree satisfies the Elmore del
 // The radii recomputation makes this O(E·V²); intended for the ≤ a few
 // hundred sink nets that dominate delay-driven routing.
 func BKRUSElmore(in *inst.Instance, eps float64, m Model) (*graph.Tree, error) {
+	return BKRUSElmoreBuild(context.Background(), in, eps, m)
+}
+
+// BKRUSElmoreBuild is BKRUSElmore with a context polled inside the
+// greedy edge scan of every ladder step, so the O(E·V²) construction
+// aborts with ctx.Err() within a bounded number of edge examinations.
+func BKRUSElmoreBuild(ctx context.Context, in *inst.Instance, eps float64, m Model) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("delay: negative eps %g", eps)
 	}
@@ -205,7 +214,10 @@ func BKRUSElmore(in *inst.Instance, eps float64, m Model) (*graph.Tree, error) {
 	best := (*graph.Tree)(nil)
 	for _, f := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
 		accept := starR + f*(bound-starR)
-		t, ok := buildElmore(in, m, accept)
+		t, ok, err := buildElmore(ctx, in, m, accept)
+		if err != nil {
+			return nil, err
+		}
 		if ok && withinBound(SourceRadius(t, m), bound) {
 			if best == nil || t.Cost() < best.Cost() {
 				best = t
@@ -235,7 +247,7 @@ func starTree(in *inst.Instance) *graph.Tree {
 
 // buildElmore runs one greedy bounded-Kruskal pass with the given
 // acceptance bound, reporting whether it spanned the net.
-func buildElmore(in *inst.Instance, m Model, bound float64) (*graph.Tree, bool) {
+func buildElmore(ctx context.Context, in *inst.Instance, m Model, bound float64) (*graph.Tree, bool, error) {
 	dm := in.DistMatrix()
 	n := in.N()
 	ds := graph.NewDisjointSet(n)
@@ -250,9 +262,13 @@ func buildElmore(in *inst.Instance, m Model, bound float64) (*graph.Tree, bool) 
 	graph.SortEdges(edges)
 	t := graph.NewTree(n)
 
+	chk := cancel.New(ctx, 16)
 	for _, ed := range edges {
 		if len(t.Edges) == n-1 {
 			break
+		}
+		if err := chk.Tick(); err != nil {
+			return nil, false, err
 		}
 		ru, rv := ds.Find(ed.U), ds.Find(ed.V)
 		if ru == rv {
@@ -298,7 +314,7 @@ func buildElmore(in *inst.Instance, m Model, bound float64) (*graph.Tree, bool) 
 		compLoad[r] = load
 		t.Edges = append(t.Edges, ed)
 	}
-	return t, len(t.Edges) == n-1
+	return t, len(t.Edges) == n-1, nil
 }
 
 // elmoreWitnessExists applies test (3-b'): some node x of the tentative

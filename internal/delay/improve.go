@@ -1,6 +1,7 @@
 package delay
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exchange"
@@ -14,7 +15,8 @@ import (
 // §3.2 delay model — exchanges that save wire also unload the driver, so
 // they frequently reduce delay too. maxDepth caps the chained exchanges
 // (2 gives the BKH2-analogue); budget caps search work (0 = unlimited).
-func ImproveElmore(in *inst.Instance, start *graph.Tree, eps float64, m Model, maxDepth, budget int) (*graph.Tree, error) {
+// Cancellation propagates through the underlying exchange search.
+func ImproveElmore(ctx context.Context, in *inst.Instance, start *graph.Tree, eps float64, m Model, maxDepth, budget int) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("delay: negative eps %g", eps)
 	}
@@ -22,7 +24,7 @@ func ImproveElmore(in *inst.Instance, start *graph.Tree, eps float64, m Model, m
 		return nil, err
 	}
 	bound := (1 + eps) * StarR(in, m)
-	res, err := exchange.ImproveFunc(in, start, func(t *graph.Tree) bool {
+	res, err := exchange.ImproveFunc(ctx, in, start, func(t *graph.Tree) bool {
 		return withinBound(SourceRadius(t, m), bound)
 	}, exchange.Options{MaxDepth: maxDepth, MaxExpansions: budget})
 	if err != nil {
@@ -33,10 +35,10 @@ func ImproveElmore(in *inst.Instance, start *graph.Tree, eps float64, m Model, m
 
 // BKH2Elmore is the delay-model analogue of BKH2: BKRUSElmore followed by
 // depth-2 exchange search under the Elmore delay bound.
-func BKH2Elmore(in *inst.Instance, eps float64, m Model) (*graph.Tree, error) {
-	start, err := BKRUSElmore(in, eps, m)
+func BKH2Elmore(ctx context.Context, in *inst.Instance, eps float64, m Model) (*graph.Tree, error) {
+	start, err := BKRUSElmoreBuild(ctx, in, eps, m)
 	if err != nil {
 		return nil, err
 	}
-	return ImproveElmore(in, start, eps, m, 2, 0)
+	return ImproveElmore(ctx, in, start, eps, m, 2, 0)
 }

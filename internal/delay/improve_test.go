@@ -1,6 +1,7 @@
 package delay
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -13,10 +14,10 @@ func TestImproveElmoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ImproveElmore(in, start, -1, m, 2, 0); err == nil {
+	if _, err := ImproveElmore(context.Background(), in, start, -1, m, 2, 0); err == nil {
 		t.Error("negative eps accepted")
 	}
-	if _, err := ImproveElmore(in, start, 0.5, Model{RUnit: -1}, 2, 0); err == nil {
+	if _, err := ImproveElmore(context.Background(), in, start, 0.5, Model{RUnit: -1}, 2, 0); err == nil {
 		t.Error("invalid model accepted")
 	}
 }
@@ -32,7 +33,7 @@ func TestBKH2ElmoreNeverWorse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		better, err := BKH2Elmore(in, eps, m)
+		better, err := BKH2Elmore(context.Background(), in, eps, m)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/inst"
+	"repro/internal/mst"
+)
+
+// A context cancelled while the exact enumeration is deep in its search
+// tree must surface ctx.Err() promptly instead of grinding through the
+// tree budget. The window [0.97·R, R] is infeasible for a random
+// 14-sink instance, so without cancellation the search enumerates its
+// whole budget.
+func TestCancelAbortsBMSTGMidSearch(t *testing.T) {
+	in := bench.Random(7, 14, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+
+	_, err := Build(ctx, "bmstglu", in, Params{Eps1: 0.97, Eps2: 0, GabowBudget: 2000000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-search cancel returned %v, want context.Canceled", err)
+	}
+}
+
+// A pre-cancelled context must abort every registered constructor that
+// does nontrivial work, before or shortly after it starts.
+func TestPreCancelledContextAborts(t *testing.T) {
+	in := bench.P3()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"bmstg", "bkh2", "bkex"} {
+		if _, err := Build(ctx, name, in, conformanceParams[name]); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled ctx returned %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// Cancelling between sweep iterations must stop the sweep at the next
+// boundary and return ctx.Err(), regardless of how cheap the individual
+// builds are.
+func TestSweepCancelledMidway(t *testing.T) {
+	r := NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	builds := 0
+	r.Register(Info{Name: "selfcancel", Kind: Spanning}, func(ctx context.Context, in *inst.Instance, p Params) (Result, error) {
+		builds++
+		if builds == 3 {
+			cancel()
+		}
+		return Result{Tree: mst.Kruskal(in.DistMatrix())}, nil
+	})
+
+	_, err := r.Sweep(ctx, "selfcancel", bench.P1(), make([]Params, 10))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if builds != 3 {
+		t.Errorf("sweep ran %d builds after cancellation at the 3rd, want exactly 3", builds)
+	}
+}
+
+// A pre-cancelled sweep must not build anything.
+func TestSweepPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ps := []Params{{Eps: 0.1}, {Eps: 0.2}}
+	if _, err := Sweep(ctx, "bkrus", bench.P4(), ps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled sweep returned %v, want context.Canceled", err)
+	}
+}

@@ -20,10 +20,12 @@ package exact
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/inst"
@@ -49,19 +51,22 @@ type Options struct {
 
 // BMSTG returns an optimal bounded path length minimal spanning tree for
 // bound (1+eps)·R, or ErrBudget if the enumeration budget runs out, or
-// core.ErrInfeasible if no spanning tree satisfies the bound.
-func BMSTG(in *inst.Instance, eps float64, opt Options) (*graph.Tree, error) {
+// core.ErrInfeasible if no spanning tree satisfies the bound. The search
+// tree can grow exponentially, so the context is polled on every
+// subproblem pop: cancelling ctx aborts the enumeration with ctx.Err()
+// after at most one constrained-MST partition step.
+func BMSTG(ctx context.Context, in *inst.Instance, eps float64, opt Options) (*graph.Tree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("exact: negative eps %g", eps)
 	}
-	return BMSTGBounds(in, core.UpperOnly(in, eps), opt)
+	return BMSTGBounds(ctx, in, core.UpperOnly(in, eps), opt)
 }
 
 // BMSTGBounds is BMSTG for an arbitrary absolute bound window, supporting
 // the §6 lower+upper bounded problem (Lemma 6.1 is applied when a lower
 // bound is active).
-func BMSTGBounds(in *inst.Instance, b core.Bounds, opt Options) (*graph.Tree, error) {
-	t, _, err := BMSTGWithStats(in, b, opt)
+func BMSTGBounds(ctx context.Context, in *inst.Instance, b core.Bounds, opt Options) (*graph.Tree, error) {
+	t, _, err := BMSTGWithStats(ctx, in, b, opt)
 	return t, err
 }
 
@@ -76,7 +81,7 @@ type SearchStats struct {
 // BMSTGWithStats is BMSTGBounds returning search statistics: how far
 // into the cost-ordered tree sequence the optimum sat, and how much the
 // lemma preprocessing shrank the search.
-func BMSTGWithStats(in *inst.Instance, b core.Bounds, opt Options) (*graph.Tree, SearchStats, error) {
+func BMSTGWithStats(ctx context.Context, in *inst.Instance, b core.Bounds, opt Options) (*graph.Tree, SearchStats, error) {
 	var st SearchStats
 	if err := b.Validate(); err != nil {
 		return nil, st, err
@@ -94,10 +99,14 @@ func BMSTGWithStats(in *inst.Instance, b core.Bounds, opt Options) (*graph.Tree,
 	if !ok {
 		return nil, st, core.ErrInfeasible
 	}
+	chk := cancel.New(ctx, 1)
 	h := &subHeap{{tree: root, cost: root.Cost(), include: forced}}
 	for h.Len() > 0 {
 		if h.Len() > st.PeakHeap {
 			st.PeakHeap = h.Len()
+		}
+		if err := chk.Err(); err != nil {
+			return nil, st, err
 		}
 		if budget == 0 {
 			return nil, st, ErrBudget

@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"sort"
@@ -60,7 +62,7 @@ func bruteBMST(in *inst.Instance, b core.Bounds) *graph.Tree {
 
 func TestBMSTGNegativeEps(t *testing.T) {
 	in := inst.MustNew(geom.Point{}, []geom.Point{{X: 1, Y: 0}}, geom.Manhattan)
-	if _, err := BMSTG(in, -1, Options{}); err == nil {
+	if _, err := BMSTG(context.Background(), in, -1, Options{}); err == nil {
 		t.Error("negative eps accepted")
 	}
 }
@@ -69,7 +71,7 @@ func TestBMSTGInfiniteEpsIsMST(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 8; trial++ {
 		in := randomInstance(rng, 3+rng.Intn(8), 100)
-		tr, err := BMSTG(in, math.Inf(1), Options{})
+		tr, err := BMSTG(context.Background(), in, math.Inf(1), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +89,7 @@ func TestBMSTGMatchesBruteForce(t *testing.T) {
 		eps := float64(rng.Intn(5)) / 10
 		b := core.UpperOnly(in, eps)
 		want := bruteBMST(in, b)
-		got, err := BMSTG(in, eps, Options{})
+		got, err := BMSTG(context.Background(), in, eps, Options{})
 		if want == nil {
 			if err == nil {
 				t.Errorf("trial %d: expected infeasible, got cost %v", trial, got.Cost())
@@ -111,8 +113,8 @@ func TestBMSTGLemmaAblationAgrees(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		in := randomInstance(rng, 4+rng.Intn(4), 100)
 		eps := float64(rng.Intn(8)) / 10
-		a, errA := BMSTG(in, eps, Options{})
-		b, errB := BMSTG(in, eps, Options{DisableLemmas: true})
+		a, errA := BMSTG(context.Background(), in, eps, Options{})
+		b, errB := BMSTG(context.Background(), in, eps, Options{DisableLemmas: true})
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("trial %d: lemma/no-lemma disagree on feasibility: %v vs %v", trial, errA, errB)
 		}
@@ -190,7 +192,7 @@ func TestBMSTGBudget(t *testing.T) {
 	if core.FeasibleTree(m, b) {
 		t.Skip("fixture MST unexpectedly feasible")
 	}
-	if _, err := BMSTGBounds(in, b, Options{MaxTrees: 1}); err != ErrBudget {
+	if _, err := BMSTGBounds(context.Background(), in, b, Options{MaxTrees: 1}); err != ErrBudget {
 		t.Errorf("err = %v, want ErrBudget", err)
 	}
 }
@@ -200,7 +202,7 @@ func TestBMSTGFigure5Optimal(t *testing.T) {
 	in := inst.MustNew(geom.Point{}, []geom.Point{
 		{X: 3.4, Y: 2.8}, {X: 5.2, Y: 2.6}, {X: 4, Y: 0}, {X: 0, Y: 7.7},
 	}, geom.Manhattan)
-	got, err := BMSTGBounds(in, core.Bounds{Upper: 8.3}, Options{})
+	got, err := BMSTGBounds(context.Background(), in, core.Bounds{Upper: 8.3}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +220,11 @@ func TestBMSTGLowerUpperBounds(t *testing.T) {
 	// 10 (violates lower), sink2 = 11 OK. sink1 via sink2: 11 + 3 = 14 >
 	// upper. sink2 via sink1: 10 + 3 = 13 > upper. So the only hope is
 	// infeasible.
-	if _, err := BMSTGBounds(in, core.LowerUpper(in, 0.95, 0.1), Options{}); err == nil {
+	if _, err := BMSTGBounds(context.Background(), in, core.LowerUpper(in, 0.95, 0.1), Options{}); err == nil {
 		t.Error("expected infeasible LUB window")
 	}
 	// Widen the upper bound: sink1 via sink2 (11 + 3 = 14 <= 1.3*11) works.
-	tr, err := BMSTGBounds(in, core.LowerUpper(in, 0.95, 0.3), Options{})
+	tr, err := BMSTGBounds(context.Background(), in, core.LowerUpper(in, 0.95, 0.3), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +243,7 @@ func TestBMSTGSandwichProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomInstance(rng, 3+rng.Intn(5), 100)
 		eps := float64(epsRaw%120) / 100
-		opt, err := BMSTG(in, eps, Options{})
+		opt, err := BMSTG(context.Background(), in, eps, Options{})
 		if err != nil {
 			return false
 		}
@@ -280,11 +282,11 @@ func TestBMSTGWithStats(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	in := randomInstance(rng, 8, 100)
 	b := core.UpperOnly(in, 0.1)
-	tr, withLemmas, err := BMSTGWithStats(in, b, Options{})
+	tr, withLemmas, err := BMSTGWithStats(context.Background(), in, b, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, without, err := BMSTGWithStats(in, b, Options{DisableLemmas: true})
+	tr2, without, err := BMSTGWithStats(context.Background(), in, b, Options{DisableLemmas: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,12 +18,14 @@
 package exchange
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/inst"
@@ -59,15 +61,18 @@ type Feasibility func(*graph.Tree) bool
 
 // Improve runs iterated negative-sum-exchange search on a feasible
 // starting tree, returning the improved tree (the input is not
-// modified). The starting tree must already satisfy the bounds.
-func Improve(in *inst.Instance, start *graph.Tree, b core.Bounds, opt Options) (Result, error) {
-	return ImproveFunc(in, start, func(t *graph.Tree) bool {
+// modified). The starting tree must already satisfy the bounds. The
+// context is polled periodically inside the exchange enumeration, so a
+// cancelled ctx aborts the search with ctx.Err() within a bounded
+// number of candidate evaluations.
+func Improve(ctx context.Context, in *inst.Instance, start *graph.Tree, b core.Bounds, opt Options) (Result, error) {
+	return ImproveFunc(ctx, in, start, func(t *graph.Tree) bool {
 		return core.FeasibleTree(t, b)
 	}, opt)
 }
 
 // ImproveFunc is Improve with an arbitrary feasibility predicate.
-func ImproveFunc(in *inst.Instance, start *graph.Tree, feasible Feasibility, opt Options) (Result, error) {
+func ImproveFunc(ctx context.Context, in *inst.Instance, start *graph.Tree, feasible Feasibility, opt Options) (Result, error) {
 	if err := start.Validate(); err != nil {
 		return Result{}, fmt.Errorf("exchange: invalid starting tree: %w", err)
 	}
@@ -83,6 +88,7 @@ func ImproveFunc(in *inst.Instance, start *graph.Tree, feasible Feasibility, opt
 		feasible: feasible,
 		maxDepth: maxDepth,
 		budget:   opt.MaxExpansions,
+		chk:      cancel.New(ctx, 256),
 		t:        start.Clone(),
 	}
 	s.edges = graph.CompleteEdges(s.dm)
@@ -95,7 +101,11 @@ func ImproveFunc(in *inst.Instance, start *graph.Tree, feasible Feasibility, opt
 		// intermediate tree can be memoized: once explored at depth d it
 		// need not be re-entered at depth >= d.
 		s.visited = make(map[string]int)
-		if !s.dfs(0, 0) {
+		improved := s.dfs(0, 0)
+		if s.err != nil {
+			return Result{}, s.err
+		}
+		if !improved {
 			break
 		}
 		res.Iterations++
@@ -111,15 +121,15 @@ func ImproveFunc(in *inst.Instance, start *graph.Tree, feasible Feasibility, opt
 // negative-sum-exchange search to a local (empirically global) optimum.
 // maxDepth ≤ 0 means unlimited depth; the paper reports depth 6 solved
 // every random benchmark in its 2750-case study.
-func BKEX(in *inst.Instance, eps float64, maxDepth int) (*graph.Tree, error) {
-	start, err := core.BKRUS(in, eps)
+func BKEX(ctx context.Context, in *inst.Instance, eps float64, maxDepth int) (*graph.Tree, error) {
+	start, err := core.BKRUSBuild(ctx, in, core.UpperOnly(in, eps), core.Config{})
 	if err != nil {
 		return nil, err
 	}
 	if maxDepth < 0 {
 		maxDepth = 0
 	}
-	res, err := Improve(in, start, core.UpperOnly(in, eps), Options{MaxDepth: maxDepth})
+	res, err := Improve(ctx, in, start, core.UpperOnly(in, eps), Options{MaxDepth: maxDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -130,19 +140,19 @@ func BKEX(in *inst.Instance, eps float64, maxDepth int) (*graph.Tree, error) {
 // double negative-sum exchanges until no improvement remains. By Lemma
 // 3.1, BKT is already a local optimum for single exchanges, so the depth
 // 2 search is the first level that can improve it.
-func BKH2(in *inst.Instance, eps float64) (*graph.Tree, error) {
-	return BKH2Budget(in, eps, 0)
+func BKH2(ctx context.Context, in *inst.Instance, eps float64) (*graph.Tree, error) {
+	return BKH2Budget(ctx, in, eps, 0)
 }
 
 // BKH2Budget is BKH2 with an expansion budget for the large benchmarks
 // (0 = unlimited). When the budget runs out the best tree found so far is
 // returned.
-func BKH2Budget(in *inst.Instance, eps float64, maxExpansions int) (*graph.Tree, error) {
-	start, err := core.BKRUS(in, eps)
+func BKH2Budget(ctx context.Context, in *inst.Instance, eps float64, maxExpansions int) (*graph.Tree, error) {
+	start, err := core.BKRUSBuild(ctx, in, core.UpperOnly(in, eps), core.Config{})
 	if err != nil {
 		return nil, err
 	}
-	res, err := Improve(in, start, core.UpperOnly(in, eps), Options{MaxDepth: 2, MaxExpansions: maxExpansions})
+	res, err := Improve(ctx, in, start, core.UpperOnly(in, eps), Options{MaxDepth: 2, MaxExpansions: maxExpansions})
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +167,8 @@ type searcher struct {
 	budget    int // remaining expansions; meaningful only if > 0 initially
 	limited   bool
 	exhausted bool
+	chk       cancel.Checker
+	err       error // context error that aborted the search, if any
 	t         *graph.Tree
 	edges     []graph.Edge
 	visited   map[string]int // tree signature -> smallest depth fully explored
@@ -213,7 +225,17 @@ func (s *searcher) spend() bool { return s.spendN(1) }
 // spendN withdraws n work units; applied exchanges cost O(V) (tree edit,
 // feasibility check, memo signature), so they charge V units on top of
 // the candidate step, keeping the budget proportional to wall time.
+// Cancellation rides the same choke point: once the searcher's context
+// is cancelled, spendN fails permanently and the DFS unwinds (restoring
+// the tree on the way out) exactly like budget exhaustion.
 func (s *searcher) spendN(n int) bool {
+	if s.err != nil {
+		return false
+	}
+	if err := s.chk.Tick(); err != nil {
+		s.err = err
+		return false
+	}
 	if s.budget == 0 && !s.limited {
 		return true // unlimited
 	}

@@ -1,6 +1,8 @@
 package exchange_test
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -28,14 +30,14 @@ func TestImproveRejectsBadStart(t *testing.T) {
 	in := inst.MustNew(geom.Point{}, []geom.Point{{X: 1, Y: 0}, {X: 2, Y: 0}}, geom.Manhattan)
 	forest := graph.NewTree(3)
 	forest.AddEdge(0, 1, 1)
-	if _, err := exchange.Improve(in, forest, core.Bounds{Upper: 100}, exchange.Options{}); err == nil {
+	if _, err := exchange.Improve(context.Background(), in, forest, core.Bounds{Upper: 100}, exchange.Options{}); err == nil {
 		t.Error("invalid starting tree accepted")
 	}
 	// valid tree violating the bounds
 	star := graph.NewTree(3)
 	star.AddEdge(0, 1, 1)
 	star.AddEdge(0, 2, 2)
-	if _, err := exchange.Improve(in, star, core.Bounds{Upper: 1.5}, exchange.Options{}); err == nil {
+	if _, err := exchange.Improve(context.Background(), in, star, core.Bounds{Upper: 1.5}, exchange.Options{}); err == nil {
 		t.Error("bound-violating starting tree accepted")
 	}
 }
@@ -49,7 +51,7 @@ func TestImproveDoesNotModifyInput(t *testing.T) {
 	}
 	costBefore := start.Cost()
 	edgesBefore := len(start.Edges)
-	if _, err := exchange.Improve(in, start, core.UpperOnly(in, 0.2), exchange.Options{MaxDepth: 2}); err != nil {
+	if _, err := exchange.Improve(context.Background(), in, start, core.UpperOnly(in, 0.2), exchange.Options{MaxDepth: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if start.Cost() != costBefore || len(start.Edges) != edgesBefore {
@@ -71,7 +73,7 @@ func TestBKEXRecoversFigure5Optimum(t *testing.T) {
 	if math.Abs(start.Cost()-19.9) > 1e-9 {
 		t.Fatalf("fixture drifted: BKRUS cost %v", start.Cost())
 	}
-	res, err := exchange.Improve(in, start, b, exchange.Options{})
+	res, err := exchange.Improve(context.Background(), in, start, b, exchange.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +96,11 @@ func TestBKEXMatchesBMSTG(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		in := randomInstance(rng, 4+rng.Intn(5), 100) // 4-8 sinks
 		eps := float64(rng.Intn(6)) / 10
-		want, err := exact.BMSTG(in, eps, exact.Options{})
+		want, err := exact.BMSTG(context.Background(), in, eps, exact.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := exchange.BKEX(in, eps, 0)
+		got, err := exchange.BKEX(context.Background(), in, eps, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,11 +128,11 @@ func TestBKH2Sandwich(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h2, err := exchange.BKH2(in, eps)
+		h2, err := exchange.BKH2(context.Background(), in, eps)
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt, err := exact.BMSTG(in, eps, exact.Options{})
+		opt, err := exact.BMSTG(context.Background(), in, eps, exact.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +161,7 @@ func TestExchangeInvariantsProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: depth})
+		res, err := exchange.Improve(context.Background(), in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: depth})
 		if err != nil {
 			return false
 		}
@@ -188,7 +190,7 @@ func TestBKTSingleExchangeLocalOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: 1})
+		res, err := exchange.Improve(context.Background(), in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,7 +210,7 @@ func TestExpansionBudgetTruncates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exchange.Improve(in, start, b, exchange.Options{MaxExpansions: 1})
+	res, err := exchange.Improve(context.Background(), in, start, b, exchange.Options{MaxExpansions: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func BenchmarkBKH2Net15(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exchange.BKH2(in, 0.2); err != nil {
+		if _, err := exchange.BKH2(context.Background(), in, 0.2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -265,7 +267,7 @@ func TestBKH2BFSAgreesWithDFS(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		in := randomInstance(rng, 4+rng.Intn(6), 100)
 		eps := float64(rng.Intn(6)) / 10
-		dfs, err := exchange.BKH2(in, eps)
+		dfs, err := exchange.BKH2(context.Background(), in, eps)
 		if err != nil {
 			t.Fatal(err)
 		}

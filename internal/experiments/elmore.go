@@ -3,8 +3,8 @@ package experiments
 import (
 	"repro/internal/bench"
 	"repro/internal/delay"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/mst"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -35,14 +35,20 @@ func ElmoreStats(cfg Config) error {
 		for _, eps := range epsGrid {
 			var costMST, costStar, delayR, mstDelayR stats.Acc
 			for k := 0; k < cases; k++ {
+				if err := cfg.ctx().Err(); err != nil {
+					return err
+				}
 				in := bench.RandomCase(16, k)
 				m := dr.m
 				starR := delay.StarR(in, m)
-				t, err := delay.BKRUSElmore(in, eps, m)
+				t, err := cfg.spanning("elmore", in, engine.Params{Eps: eps, RC: m})
 				if err != nil {
 					continue // never happens since the star fallback
 				}
-				mstTree := mst.Kruskal(in.DistMatrix())
+				mstTree, err := cfg.spanning("mst", in, engine.Params{})
+				if err != nil {
+					return err
+				}
 				dm := in.DistMatrix()
 				var starCost float64
 				for v := 1; v < in.N(); v++ {

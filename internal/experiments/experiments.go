@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,10 +18,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exchange"
 	"repro/internal/graph"
 	"repro/internal/inst"
 	"repro/internal/mst"
+	"repro/internal/steiner"
 	"repro/internal/table"
 )
 
@@ -28,6 +31,10 @@ import (
 type Config struct {
 	// Out receives the rendered tables.
 	Out io.Writer
+	// Ctx bounds every construction in the run; cancelling it makes the
+	// experiment return ctx.Err() at the next algorithm boundary
+	// (nil = context.Background()).
+	Ctx context.Context
 	// Quick shrinks grids and case counts so the whole suite runs in
 	// seconds (used by CI and the bench harness). Full mode reproduces
 	// the paper's grids and can take hours on the largest benchmarks.
@@ -51,6 +58,35 @@ func (c Config) out() io.Writer {
 		return io.Discard
 	}
 	return c.Out
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// spanning dispatches a spanning constructor through the engine
+// registry under the configured context. Every experiment that selects
+// an algorithm goes through here (or steinerTree), so there is exactly
+// one dispatch path to audit.
+func (c Config) spanning(name string, in *inst.Instance, p engine.Params) (*graph.Tree, error) {
+	res, err := engine.Build(c.ctx(), name, in, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Tree, nil
+}
+
+// steinerTree dispatches a Steiner constructor through the engine
+// registry under the configured context.
+func (c Config) steinerTree(name string, in *inst.Instance, p engine.Params) (*steiner.SteinerTree, error) {
+	res, err := engine.Build(c.ctx(), name, in, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Steiner, nil
 }
 
 // render writes a result table in the configured format.
@@ -133,13 +169,15 @@ func (c Config) exchangeBudget(sinks, depth int) int {
 func (c Config) bkh2Budget(sinks int) int { return c.exchangeBudget(sinks, 2) }
 
 // bkh2 runs BKRUS + depth-2 exchange with the configured budget,
-// reporting whether the search was truncated.
+// reporting whether the search was truncated. The engine's bkh2
+// constructor runs the same pipeline but drops the truncation flag, so
+// the exchange layer is driven directly here.
 func (c Config) bkh2(in *inst.Instance, eps float64) (*graph.Tree, bool, error) {
-	start, err := core.BKRUS(in, eps)
+	start, err := c.spanning("bkrus", in, engine.Params{Eps: eps})
 	if err != nil {
 		return nil, false, err
 	}
-	res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{
+	res, err := exchange.Improve(c.ctx(), in, start, core.UpperOnly(in, eps), exchange.Options{
 		MaxDepth:      2,
 		MaxExpansions: c.bkh2Budget(in.NumSinks()),
 	})

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -128,11 +130,33 @@ func TestRunDispatch(t *testing.T) {
 	if err := Run("1", cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := Run("zzz", cfg); err == nil {
-		t.Error("unknown id accepted")
+	err := Run("zzz", cfg)
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("unknown-id error does not mention %q: %v", id, err)
+		}
 	}
 	if err := Run("f13", cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A cancelled Config.Ctx must abort an experiment with ctx.Err() rather
+// than completing on stale data or masking the cancellation as a table
+// cell.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Ctx = ctx
+	for _, id := range []string{"f9", "f12", "2", "lemmas"} {
+		if err := Run(id, cfg); !errors.Is(err, context.Canceled) {
+			t.Errorf("Run(%q) with cancelled ctx returned %v, want context.Canceled", id, err)
+		}
 	}
 }
 

@@ -2,17 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
-	"repro/internal/baseline"
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/exchange"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/inst"
-	"repro/internal/mst"
 	"repro/internal/stats"
-	"repro/internal/steiner"
 	"repro/internal/table"
 )
 
@@ -26,11 +24,11 @@ func Figure1(cfg Config) error {
 		"eps", "cost(MST)", "cost(BKT)", "cost(BPRIM)", "BPRIM/BKT")
 	mstCost := mstCostOf(in)
 	for _, eps := range []float64{0.25, 0.0} {
-		bk, err := core.BKRUS(in, eps)
+		bk, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps})
 		if err != nil {
 			return err
 		}
-		bp, err := baseline.BPRIM(in, eps)
+		bp, err := cfg.spanning("bprim", in, engine.Params{Eps: eps})
 		if err != nil {
 			return err
 		}
@@ -58,7 +56,7 @@ func Figure9(cfg Config) error {
 		var path, cost stats.Acc
 		for k := 0; k < cases; k++ {
 			in := bench.RandomCase(15, k)
-			t, err := core.BKRUS(in, eps)
+			t, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps})
 			if err != nil {
 				return err
 			}
@@ -84,7 +82,7 @@ func Figure10(cfg Config) error {
 		for k := 0; k < cases; k++ {
 			in := bench.RandomCase(10, k)
 			mstCost := mstCostOf(in)
-			kr, err := core.BKRUS(in, eps)
+			kr, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps})
 			if err != nil {
 				return err
 			}
@@ -116,10 +114,15 @@ func Figure11(cfg Config) error {
 	cases := cfg.cases()
 	var st, g, h2, kr, spt, maxst stats.Acc
 	for k := 0; k < cases; k++ {
+		// Per-construction failures are skipped, so cancellation must be
+		// surfaced at the case boundary.
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		in := bench.RandomCase(10, k)
 		mstCost := mstCostOf(in)
 		eps := 0.2
-		if t, err := steiner.BKST(in, eps); err == nil {
+		if t, err := cfg.steinerTree("bkst", in, engine.Params{Eps: eps}); err == nil {
 			st.Add(t.Cost() / mstCost)
 		}
 		if t, err := optimalTree(cfg, in, eps); err == nil {
@@ -128,12 +131,15 @@ func Figure11(cfg Config) error {
 		if t, _, err := cfg.bkh2(in, eps); err == nil {
 			h2.Add(t.Cost() / mstCost)
 		}
-		if t, err := core.BKRUS(in, eps); err == nil {
+		if t, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps}); err == nil {
 			kr.Add(t.Cost() / mstCost)
 		}
-		dm := in.DistMatrix()
-		spt.Add(mst.SPT(dm, 0).Cost() / mstCost)
-		maxst.Add(mst.Maximal(dm).Cost() / mstCost)
+		if t, err := cfg.spanning("spt", in, engine.Params{}); err == nil {
+			spt.Add(t.Cost() / mstCost)
+		}
+		if t, err := cfg.spanning("maxst", in, engine.Params{}); err == nil {
+			maxst.Add(t.Cost() / mstCost)
+		}
 	}
 	tb.AddRow("BKST (Steiner)", st.Mean())
 	tb.AddRow("MST (unbounded)", 1.0)
@@ -156,8 +162,11 @@ func Figure12(cfg Config) error {
 	eps1s, eps2s := lubGrid(cfg.Quick)
 	for _, e1 := range eps1s {
 		for _, e2 := range eps2s {
-			t, err := core.BKRUSLU(in, e1, e2)
+			t, err := cfg.spanning("bkruslu", in, engine.Params{Eps1: e1, Eps2: e2})
 			if err != nil {
+				if cerr := cfg.ctx().Err(); cerr != nil {
+					return cerr
+				}
 				tb.AddRow(fmt.Sprintf("%.1f", e1), fmt.Sprintf("%.1f", e2), "-", "-")
 				continue
 			}
@@ -178,7 +187,7 @@ func Figure13(cfg Config) error {
 	}
 	for _, n := range ns {
 		in := arcFamily(n)
-		bkt, err := core.BKRUS(in, 0)
+		bkt, err := cfg.spanning("bkrus", in, engine.Params{Eps: 0})
 		if err != nil {
 			return err
 		}
@@ -189,17 +198,9 @@ func Figure13(cfg Config) error {
 }
 
 // bkexDepth runs BKRUS followed by exchange search capped at the given
-// chain depth.
-func bkexDepth(in *inst.Instance, eps float64, depth int) (*graph.Tree, error) {
-	start, err := core.BKRUS(in, eps)
-	if err != nil {
-		return nil, err
-	}
-	res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{MaxDepth: depth})
-	if err != nil {
-		return nil, err
-	}
-	return res.Tree, nil
+// chain depth — the engine's bkex constructor with an explicit depth.
+func (c Config) bkexDepth(in *inst.Instance, eps float64, depth int) (*graph.Tree, error) {
+	return c.spanning("bkex", in, engine.Params{Eps: eps, ExchangeDepth: depth})
 }
 
 // arcFamily places n sinks on the Manhattan circle of radius 20 with
@@ -245,7 +246,7 @@ func DepthStats(cfg Config) error {
 	for _, depth := range []int{1, 2, 3, 4, 6} {
 		hit := 0
 		for j, jb := range jobs {
-			t, err := bkexDepth(jb.in, jb.eps, depth)
+			t, err := cfg.bkexDepth(jb.in, jb.eps, depth)
 			if err != nil {
 				return err
 			}
@@ -274,43 +275,39 @@ func All(cfg Config) error {
 	return nil
 }
 
-// Run dispatches a single experiment by id: "1".."5" for tables,
+// byID maps every experiment id to its runner: "1".."5" for tables,
 // "f1","f9".."f13" for figures, "depth" for the depth study, "lemmas"
 // for the Lemma 4.1-4.3 ablation, "elmore" for the §3.2 delay study,
-// or "all".
-func Run(id string, cfg Config) error {
-	switch id {
-	case "1":
-		return Table1(cfg)
-	case "2":
-		return Table2(cfg)
-	case "3":
-		return Table3(cfg)
-	case "4":
-		return Table4(cfg)
-	case "5":
-		return Table5(cfg)
-	case "f1":
-		return Figure1(cfg)
-	case "f9":
-		return Figure9(cfg)
-	case "f10":
-		return Figure10(cfg)
-	case "f11":
-		return Figure11(cfg)
-	case "f12":
-		return Figure12(cfg)
-	case "f13":
-		return Figure13(cfg)
-	case "depth":
-		return DepthStats(cfg)
-	case "lemmas":
-		return LemmaStats(cfg)
-	case "elmore":
-		return ElmoreStats(cfg)
-	case "all", "":
-		return All(cfg)
-	default:
-		return fmt.Errorf("experiments: unknown experiment %q", id)
+// and "all" for the whole suite in paper order.
+var byID = map[string]func(Config) error{
+	"1": Table1, "2": Table2, "3": Table3, "4": Table4, "5": Table5,
+	"f1": Figure1, "f9": Figure9, "f10": Figure10,
+	"f11": Figure11, "f12": Figure12, "f13": Figure13,
+	"depth":  DepthStats,
+	"lemmas": LemmaStats,
+	"elmore": ElmoreStats,
+	"all":    All,
+}
+
+// IDs lists every experiment id, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
 	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run dispatches a single experiment by id ("" = "all"). Unknown ids
+// error with the full id list.
+func Run(id string, cfg Config) error {
+	if id == "" {
+		id = "all"
+	}
+	f, ok := byID[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return f(cfg)
 }

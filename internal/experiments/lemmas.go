@@ -32,11 +32,14 @@ func LemmaStats(cfg Config) error {
 		for k := 0; k < cases; k++ {
 			in := bench.RandomCase(10, k)
 			b := core.UpperOnly(in, eps)
-			_, on, err := exact.BMSTGWithStats(in, b, exact.Options{MaxTrees: budget})
+			_, on, err := exact.BMSTGWithStats(cfg.ctx(), in, b, exact.Options{MaxTrees: budget})
 			if err != nil {
+				if cerr := cfg.ctx().Err(); cerr != nil {
+					return cerr
+				}
 				continue // budget blow with lemmas is very rare; skip the pair
 			}
-			_, off, err := exact.BMSTGWithStats(in, b, exact.Options{MaxTrees: budget, DisableLemmas: true})
+			_, off, err := exact.BMSTGWithStats(cfg.ctx(), in, b, exact.Options{MaxTrees: budget, DisableLemmas: true})
 			if errors.Is(err, exact.ErrBudget) {
 				blown++
 				// count the truncated run's work anyway: it is a lower bound

@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/exchange"
 	"repro/internal/graph"
@@ -35,14 +35,19 @@ func Table2(cfg Config) error {
 		in, _ := bench.ByName(name)
 		mstCost := mstCostOf(in)
 		for _, eps := range epsGrid(cfg.Quick) {
+			// Budget blows print as "-" cells, so cancellation must be
+			// surfaced here rather than rendered as an empty table.
+			if err := cfg.ctx().Err(); err != nil {
+				return err
+			}
 			row := []interface{}{name, epsLabel(eps)}
 			row = append(row, cellsExact(cfg, in, eps, mstCost)...)
 			row = append(row, cellsBKEX(cfg, in, eps, mstCost)...)
 			row = append(row, cellsSimple(in, eps, mstCost, func() (*graph.Tree, error) {
-				return core.BKRUS(in, eps)
+				return cfg.spanning("bkrus", in, engine.Params{Eps: eps})
 			})...)
 			row = append(row, cellsBKH2(cfg, in, eps, mstCost)...)
-			bp, err := baseline.BPRIM(in, eps)
+			bp, err := cfg.spanning("bprim", in, engine.Params{Eps: eps})
 			if err != nil {
 				row = append(row, "-", "-")
 			} else {
@@ -71,7 +76,7 @@ func cellsExact(cfg Config, in *inst.Instance, eps float64, mstCost float64) []i
 		budget = 50000 // p4-scale enumeration is where Gabow's space blows up
 	}
 	t, cpu, err := timed(func() (*graph.Tree, error) {
-		return exact.BMSTG(in, eps, exact.Options{MaxTrees: budget})
+		return cfg.spanning("bmstg", in, engine.Params{Eps: eps, GabowBudget: budget})
 	})
 	if errors.Is(err, exact.ErrBudget) {
 		return []interface{}{"-", "-", "-"}
@@ -89,11 +94,11 @@ func cellsBKEX(cfg Config, in *inst.Instance, eps float64, mstCost float64) []in
 		truncated bool
 	}
 	r, cpu, err := timed(func() (bkexRes, error) {
-		start, err := core.BKRUS(in, eps)
+		start, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps})
 		if err != nil {
 			return bkexRes{}, err
 		}
-		res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{
+		res, err := exchange.Improve(cfg.ctx(), in, start, core.UpperOnly(in, eps), exchange.Options{
 			MaxDepth:      6, // the paper's empirically sufficient depth
 			MaxExpansions: cfg.exchangeBudget(in.NumSinks(), 6),
 		})

@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/table"
 )
@@ -27,7 +27,10 @@ func Table3(cfg Config) error {
 		in, _ := bench.ByName(name)
 		mstCost := mstCostOf(in)
 		for _, eps := range epsGrid(cfg.Quick) {
-			kr, cpuKR, err := timed(func() (*graph.Tree, error) { return core.BKRUS(in, eps) })
+			if err := cfg.ctx().Err(); err != nil {
+				return err
+			}
+			kr, cpuKR, err := timed(func() (*graph.Tree, error) { return cfg.spanning("bkrus", in, engine.Params{Eps: eps}) })
 			if err != nil {
 				tb.AddRow(name, epsLabel(eps), "-", "-", "-", "-", "-", "-")
 				continue

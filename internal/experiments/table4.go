@@ -4,15 +4,14 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/exchange"
 	"repro/internal/graph"
 	"repro/internal/inst"
 	"repro/internal/stats"
-	"repro/internal/steiner"
 	"repro/internal/table"
 )
 
@@ -44,17 +43,22 @@ func Table4(cfg Config) error {
 	cases := cfg.cases()
 	for _, size := range sizes {
 		for _, eps := range table4Eps(cfg.Quick) {
+			// Infeasible cases are silently skipped, so cancellation must
+			// be surfaced at the row boundary.
+			if err := cfg.ctx().Err(); err != nil {
+				return err
+			}
 			var bp, brbc, kr, h2, g, st stats.Acc
 			for k := 0; k < cases; k++ {
 				in := bench.RandomCase(size, k)
 				mstCost := mstCostOf(in)
-				if t, err := baseline.BPRIM(in, eps); err == nil {
+				if t, err := cfg.spanning("bprim", in, engine.Params{Eps: eps}); err == nil {
 					bp.Add(t.Cost() / mstCost)
 				}
-				if t, err := baseline.BRBC(in, eps); err == nil {
+				if t, err := cfg.spanning("brbc", in, engine.Params{Eps: eps}); err == nil {
 					brbc.Add(t.Cost() / mstCost)
 				}
-				if t, err := core.BKRUS(in, eps); err == nil {
+				if t, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps}); err == nil {
 					kr.Add(t.Cost() / mstCost)
 				}
 				if t, _, err := cfg.bkh2(in, eps); err == nil {
@@ -63,7 +67,7 @@ func Table4(cfg Config) error {
 				if t, err := optimalTree(cfg, in, eps); err == nil {
 					g.Add(t.Cost() / mstCost)
 				}
-				if t, err := steiner.BKST(in, eps); err == nil {
+				if t, err := cfg.steinerTree("bkst", in, engine.Params{Eps: eps}); err == nil {
 					st.Add(t.Cost() / mstCost)
 				}
 			}
@@ -92,13 +96,13 @@ func optimalTree(cfg Config, in *inst.Instance, eps float64) (*graph.Tree, error
 	if budget == 0 {
 		budget = 30000
 	}
-	t, err := exact.BMSTG(in, eps, exact.Options{MaxTrees: budget})
+	t, err := cfg.spanning("bmstg", in, engine.Params{Eps: eps, GabowBudget: budget})
 	if errors.Is(err, exact.ErrBudget) {
-		start, err := core.BKRUS(in, eps)
+		start, err := cfg.spanning("bkrus", in, engine.Params{Eps: eps})
 		if err != nil {
 			return nil, err
 		}
-		res, err := exchange.Improve(in, start, core.UpperOnly(in, eps), exchange.Options{
+		res, err := exchange.Improve(cfg.ctx(), in, start, core.UpperOnly(in, eps), exchange.Options{
 			MaxDepth:      6,
 			MaxExpansions: cfg.exchangeBudget(in.NumSinks(), 6),
 		})

@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/inst"
 	"repro/internal/table"
@@ -48,10 +48,15 @@ func Table5(cfg Config) error {
 	}
 	for _, e1 := range eps1s {
 		for _, e2 := range eps2s {
+			// Infeasible windows print "-", so cancellation must be
+			// surfaced at the row boundary.
+			if err := cfg.ctx().Err(); err != nil {
+				return err
+			}
 			row := []interface{}{fmt.Sprintf("%.1f", e1), fmt.Sprintf("%.1f", e2)}
 			for _, n := range names {
 				en := ins[n]
-				t, err := core.BKRUSLU(en.in, e1, e2)
+				t, err := cfg.spanning("bkruslu", en.in, engine.Params{Eps1: e1, Eps2: e2})
 				if err != nil {
 					row = append(row, "-", "-")
 					continue

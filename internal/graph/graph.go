@@ -110,6 +110,17 @@ func NewDisjointSet(n int) *DisjointSet {
 	return ds
 }
 
+// Reset returns the structure to n singleton sets without releasing the
+// member-list backing arrays, so pooled callers (sweep runners reusing
+// one scratch across constructions) avoid re-allocating n slices per run.
+func (ds *DisjointSet) Reset() {
+	for i := range ds.rep {
+		ds.rep[i] = i
+		ds.members[i] = append(ds.members[i][:0], i)
+	}
+	ds.sets = len(ds.rep)
+}
+
 // Len returns the number of elements.
 func (ds *DisjointSet) Len() int { return len(ds.rep) }
 

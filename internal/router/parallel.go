@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -53,25 +54,34 @@ func clampWorkers(workers, nets int) int {
 	return workers
 }
 
-// RouteParallel routes the netlist with the policy across the given
-// number of workers (0 = GOMAXPROCS). Nets are independent, so results
-// are identical to Route; only wall-clock changes. The first error
-// aborts the run. When a default obs registry is installed the run
-// records router metrics into its "router" scope.
-func RouteParallel(nl *Netlist, p Policy, workers int) (*Result, error) {
-	return RouteParallelObserved(nl, p, workers, obs.DefaultScope(ScopeName))
+// Options tunes a RouteParallel run.
+type Options struct {
+	// Workers is the worker-pool size; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Obs receives the run's router metrics (per-net build latencies,
+	// success/failure counts, wall time, worker utilization). nil keeps
+	// the historical opportunistic behaviour: record into the process
+	// default registry's router scope when one is installed.
+	Obs *obs.Scope
 }
 
-// RouteParallelObserved is RouteParallel recording into an explicit obs
-// scope: per-net build latencies (HistNetBuildSeconds), success/failure
-// counts, overall wall time, and worker utilization. A nil scope turns
-// recording off; the routed Result is identical either way.
-func RouteParallelObserved(nl *Netlist, p Policy, workers int, sc *obs.Scope) (*Result, error) {
+// RouteParallel routes the netlist with the policy across a bounded
+// worker pool. Nets are independent, so results are identical to Route;
+// only wall-clock changes. The first error aborts the run. Cancelling
+// ctx stops the job feed and skips queued nets — in-flight builds
+// finish, every worker exits (no goroutine leaks), and ctx.Err() is
+// returned.
+func RouteParallel(ctx context.Context, nl *Netlist, p Policy, opt Options) (*Result, error) {
 	if len(nl.Nets) == 0 {
 		return nil, fmt.Errorf("router: empty netlist")
 	}
-	workers = clampWorkers(workers, len(nl.Nets))
+	sc := opt.Obs
+	if sc == nil {
+		sc = obs.DefaultScope(ScopeName)
+	}
+	workers := clampWorkers(opt.Workers, len(nl.Nets))
 	start := time.Now()
+	done := ctx.Done()
 
 	results := make([]NetResult, len(nl.Nets))
 	errs := make([]error, len(nl.Nets))
@@ -87,9 +97,12 @@ func RouteParallelObserved(nl *Netlist, p Policy, workers int, sc *obs.Scope) (*
 		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the queue without building
+				}
 				n := nl.Nets[i]
 				t0 := time.Now()
-				t, err := p.Build(n.In)
+				t, err := p.Build(ctx, n.In)
 				d := time.Since(t0)
 				busy[w] += d
 				if hist != nil {
@@ -112,11 +125,19 @@ func RouteParallelObserved(nl *Netlist, p Policy, workers int, sc *obs.Scope) (*
 			}
 		}(w)
 	}
+feed:
 	for i := range nl.Nets {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	if sc != nil {
 		wall := time.Since(start)

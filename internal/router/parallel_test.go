@@ -1,13 +1,16 @@
 package router
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/inst"
+	"repro/internal/mst"
 	"repro/internal/obs"
 )
 
@@ -30,14 +33,14 @@ func TestClampWorkers(t *testing.T) {
 
 // A failing net must abort the whole run with a wrapped sentinel, and
 // the failure must be visible in the scope's counters.
-func TestRouteParallelObservedAbortsOnError(t *testing.T) {
+func TestRouteParallelAbortsOnError(t *testing.T) {
 	nl := randomNetlist(rand.New(rand.NewSource(11)), 12)
-	bad := Policy{Name: "bad", Build: func(in *inst.Instance) (*graph.Tree, error) {
+	bad := Policy{Name: "bad", Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
 		return nil, errSentinel
 	}}
 	reg := obs.NewRegistry()
 	sc := reg.Scope(ScopeName)
-	_, err := RouteParallelObserved(nl, bad, 3, sc)
+	_, err := RouteParallel(context.Background(), nl, bad, Options{Workers: 3, Obs: sc})
 	if err == nil {
 		t.Fatal("failing policy did not abort the run")
 	}
@@ -52,18 +55,18 @@ func TestRouteParallelObservedAbortsOnError(t *testing.T) {
 	}
 }
 
-// Observed parallel routing must match serial Route exactly and record
-// a consistent metric set.
-func TestRouteParallelObservedDeterminismAndMetrics(t *testing.T) {
+// Parallel routing with an explicit scope must match serial Route
+// exactly and record a consistent metric set.
+func TestRouteParallelDeterminismAndMetrics(t *testing.T) {
 	nl := randomNetlist(rand.New(rand.NewSource(7)), 20)
-	serial, err := Route(nl, BKRUSPolicy(0.25))
+	serial, err := Route(context.Background(), nl, BKRUSPolicy(0.25))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	reg := obs.NewRegistry()
 	sc := reg.Scope(ScopeName)
-	par, err := RouteParallelObserved(nl, BKRUSPolicy(0.25), 4, sc)
+	par, err := RouteParallel(context.Background(), nl, BKRUSPolicy(0.25), Options{Workers: 4, Obs: sc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,17 +106,67 @@ func TestRouteParallelObservedDeterminismAndMetrics(t *testing.T) {
 // still work; with one installed it must feed the router scope.
 func TestRouteParallelDefaultRegistry(t *testing.T) {
 	nl := smallNetlist()
-	if _, err := RouteParallel(nl, MSTPolicy(), 2); err != nil {
+	if _, err := RouteParallel(context.Background(), nl, MSTPolicy(), Options{Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 
 	reg := obs.NewRegistry()
 	obs.SetDefault(reg)
 	defer obs.SetDefault(nil)
-	if _, err := RouteParallel(nl, MSTPolicy(), 2); err != nil {
+	if _, err := RouteParallel(context.Background(), nl, MSTPolicy(), Options{Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Scope(ScopeName).Counter(CtrNetsRouted).Load(); got != int64(len(nl.Nets)) {
 		t.Errorf("default scope nets_routed = %d, want %d", got, len(nl.Nets))
+	}
+}
+
+// Cancelling the context mid-run must stop the feed, return ctx.Err(),
+// and leave no worker goroutines behind.
+func TestRouteParallelCancellation(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(5)), 50)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	built := 0
+	slow := Policy{Name: "slow", Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
+		built++
+		if built == 3 {
+			cancel() // cancel from inside the run, mid-feed
+		}
+		return mst.Kruskal(in.DistMatrix()), nil
+	}}
+
+	before := runtime.NumGoroutine()
+	// Workers: 1 keeps the build counter race-free and guarantees nets
+	// remain queued at cancellation time.
+	_, err := RouteParallel(ctx, nl, slow, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if built >= len(nl.Nets) {
+		t.Errorf("all %d nets built despite cancellation", built)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+
+	// An already-cancelled context must fail fast without building.
+	calls := 0
+	counting := Policy{Name: "count", Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
+		calls++
+		return mst.Kruskal(in.DistMatrix()), nil
+	}}
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := RouteParallel(dead, nl, counting, Options{Workers: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("pre-cancelled run built %d nets, want 0", calls)
 	}
 }

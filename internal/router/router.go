@@ -26,6 +26,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,18 +66,20 @@ func (nl *Netlist) Bounds() (geom.BBox, error) {
 	return geom.Bounds(pts), nil
 }
 
-// Policy builds a routing tree for one net.
+// Policy builds a routing tree for one net. Build receives the routing
+// run's context so cancellation propagates into long per-net
+// constructions.
 type Policy struct {
 	Name  string
-	Build func(in *inst.Instance) (*graph.Tree, error)
+	Build func(ctx context.Context, in *inst.Instance) (*graph.Tree, error)
 }
 
 // BKRUSPolicy routes every net with the bounded Kruskal construction.
 func BKRUSPolicy(eps float64) Policy {
 	return Policy{
 		Name: fmt.Sprintf("bkrus(eps=%g)", eps),
-		Build: func(in *inst.Instance) (*graph.Tree, error) {
-			return core.BKRUS(in, eps)
+		Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
+			return core.BKRUSBuild(ctx, in, core.UpperOnly(in, eps), core.Config{})
 		},
 	}
 }
@@ -85,7 +88,7 @@ func BKRUSPolicy(eps float64) Policy {
 func MSTPolicy() Policy {
 	return Policy{
 		Name: "mst",
-		Build: func(in *inst.Instance) (*graph.Tree, error) {
+		Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
 			return mst.Kruskal(in.DistMatrix()), nil
 		},
 	}
@@ -95,7 +98,7 @@ func MSTPolicy() Policy {
 func SPTPolicy() Policy {
 	return Policy{
 		Name: "spt",
-		Build: func(in *inst.Instance) (*graph.Tree, error) {
+		Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
 			return mst.SPT(in.DistMatrix(), graph.Source), nil
 		},
 	}
@@ -105,8 +108,8 @@ func SPTPolicy() Policy {
 func AHHKPolicy(c float64) Policy {
 	return Policy{
 		Name: fmt.Sprintf("ahhk(c=%g)", c),
-		Build: func(in *inst.Instance) (*graph.Tree, error) {
-			return baseline.AHHK(in, c)
+		Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
+			return baseline.AHHKBuild(ctx, in, c)
 		},
 	}
 }
@@ -130,15 +133,16 @@ type Result struct {
 	MeanPathRatio  float64
 }
 
-// Route routes every net of the netlist under the policy.
-func Route(nl *Netlist, p Policy) (*Result, error) {
+// Route routes every net of the netlist under the policy, sequentially.
+// Cancellation propagates into each policy build.
+func Route(ctx context.Context, nl *Netlist, p Policy) (*Result, error) {
 	if len(nl.Nets) == 0 {
 		return nil, fmt.Errorf("router: empty netlist")
 	}
 	res := &Result{Policy: p.Name}
 	var ratioSum float64
 	for _, n := range nl.Nets {
-		t, err := p.Build(n.In)
+		t, err := p.Build(ctx, n.In)
 		if err != nil {
 			return nil, fmt.Errorf("router: net %q: %w", n.Name, err)
 		}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"strings"
@@ -40,7 +41,7 @@ func randomNetlist(rng *rand.Rand, nets int) *Netlist {
 func TestRoutePolicies(t *testing.T) {
 	nl := smallNetlist()
 	for _, p := range []Policy{MSTPolicy(), SPTPolicy(), BKRUSPolicy(0.2), AHHKPolicy(0.5)} {
-		res, err := Route(nl, p)
+		res, err := Route(context.Background(), nl, p)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
@@ -61,15 +62,15 @@ func TestRoutePolicies(t *testing.T) {
 func TestRouteQualityOrdering(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	nl := randomNetlist(rng, 30)
-	mstRes, err := Route(nl, MSTPolicy())
+	mstRes, err := Route(context.Background(), nl, MSTPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sptRes, err := Route(nl, SPTPolicy())
+	sptRes, err := Route(context.Background(), nl, SPTPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
-	bkRes, err := Route(nl, BKRUSPolicy(0.2))
+	bkRes, err := Route(context.Background(), nl, BKRUSPolicy(0.2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestRouteQualityOrdering(t *testing.T) {
 }
 
 func TestRouteEmptyNetlist(t *testing.T) {
-	if _, err := Route(&Netlist{}, MSTPolicy()); err == nil {
+	if _, err := Route(context.Background(), &Netlist{}, MSTPolicy()); err == nil {
 		t.Error("empty netlist accepted")
 	}
 }
@@ -144,7 +145,7 @@ func TestCongestionMap(t *testing.T) {
 	// one horizontal two-pin net spanning the whole region
 	nl.Add("h", inst.MustNew(geom.Point{X: 0, Y: 0},
 		[]geom.Point{{X: 100, Y: 0}}, geom.Manhattan))
-	res, err := Route(nl, MSTPolicy())
+	res, err := Route(context.Background(), nl, MSTPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestCongestionLCorner(t *testing.T) {
 	// a single diagonal two-pin net: must rasterize as an L, not a diagonal
 	nl.Add("d", inst.MustNew(geom.Point{X: 0, Y: 0},
 		[]geom.Point{{X: 100, Y: 100}}, geom.Manhattan))
-	res, err := Route(nl, MSTPolicy())
+	res, err := Route(context.Background(), nl, MSTPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestCongestionLCorner(t *testing.T) {
 
 func TestCongestionValidation(t *testing.T) {
 	nl := smallNetlist()
-	res, err := Route(nl, MSTPolicy())
+	res, err := Route(context.Background(), nl, MSTPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,8 +219,8 @@ func TestCongestionSPTvsBKRUS(t *testing.T) {
 		}
 		nl.Add("n", inst.MustNew(geom.Point{X: 50, Y: 50}, sinks, geom.Manhattan))
 	}
-	sptRes, _ := Route(nl, SPTPolicy())
-	bkRes, _ := Route(nl, BKRUSPolicy(0.5))
+	sptRes, _ := Route(context.Background(), nl, SPTPolicy())
+	bkRes, _ := Route(context.Background(), nl, BKRUSPolicy(0.5))
 	sptCm, err := NewCongestionMap(nl, sptRes, 10, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -243,12 +244,12 @@ func TestNetlistBoundsEmpty(t *testing.T) {
 func TestRouteParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	nl := randomNetlist(rng, 40)
-	seq, err := Route(nl, BKRUSPolicy(0.3))
+	seq, err := Route(context.Background(), nl, BKRUSPolicy(0.3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 1, 3, 64} {
-		par, err := RouteParallel(nl, BKRUSPolicy(0.3), workers)
+		par, err := RouteParallel(context.Background(), nl, BKRUSPolicy(0.3), Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,16 +269,16 @@ func TestRouteParallelMatchesSequential(t *testing.T) {
 
 func TestRouteParallelPropagatesError(t *testing.T) {
 	nl := smallNetlist()
-	bad := Policy{Name: "bad", Build: func(in *inst.Instance) (*graph.Tree, error) {
+	bad := Policy{Name: "bad", Build: func(ctx context.Context, in *inst.Instance) (*graph.Tree, error) {
 		if in.NumSinks() == 3 {
 			return nil, errSentinel
 		}
 		return mst.Kruskal(in.DistMatrix()), nil
 	}}
-	if _, err := RouteParallel(nl, bad, 2); err == nil {
+	if _, err := RouteParallel(context.Background(), nl, bad, Options{Workers: 2}); err == nil {
 		t.Error("policy error not propagated")
 	}
-	if _, err := RouteParallel(&Netlist{}, MSTPolicy(), 2); err == nil {
+	if _, err := RouteParallel(context.Background(), &Netlist{}, MSTPolicy(), Options{Workers: 2}); err == nil {
 		t.Error("empty netlist accepted")
 	}
 }

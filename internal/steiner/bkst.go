@@ -2,10 +2,13 @@ package steiner
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
+	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/inst"
@@ -170,23 +173,56 @@ func BKST(in *inst.Instance, eps float64) (*SteinerTree, error) {
 	if eps < 0 {
 		return nil, fmtErrNegativeEps(eps)
 	}
+	return BKSTBuild(context.Background(), in, core.UpperOnly(in, eps), Config{})
+}
+
+// Config carries the optional knobs of one BKST construction.
+type Config struct {
+	// Counters receives the construction's metrics. nil keeps the
+	// historical opportunistic behaviour: record into the process default
+	// registry's steiner scope when one is installed, otherwise nothing.
+	Counters *Counters
+	// Planar forbids layered jumper wires; walled-in terminals surface as
+	// ErrNotPlanar.
+	Planar bool
+}
+
+// BKSTBuild is the full-control entry point behind every BKST variant:
+// arbitrary bound window (Lower = 0 disables the §6 lower bound),
+// planarity, explicit counters, and a context polled periodically inside
+// the candidate-pair loop so a cancelled ctx surfaces as ctx.Err()
+// within a bounded number of heap pops.
+func BKSTBuild(ctx context.Context, in *inst.Instance, bounds core.Bounds, cfg Config) (*SteinerTree, error) {
+	if err := bounds.Validate(); err != nil {
+		return nil, err
+	}
 	if in.Metric() != geom.Manhattan {
 		return nil, fmtErrMetric(in.Metric())
 	}
-	b := newBuilder(in, in.Bound(eps))
-	return b.finish()
-}
-
-// finish runs the construction and validates the result against the
-// builder's upper bound — the shared tail of BKST and BKSTObserved.
-func (b *builder) finish() (*SteinerTree, error) {
-	b.run()
+	b := newBuilder(in, bounds.Upper)
+	b.lower = bounds.Lower
+	b.planar = cfg.Planar
+	if cfg.Counters != nil {
+		b.c = cfg.Counters
+		b.c.publishGrid(b.g)
+	}
+	if err := b.run(ctx); err != nil {
+		return nil, err
+	}
+	if b.notPlanar {
+		return nil, ErrNotPlanar
+	}
 	st := &SteinerTree{grid: b.g, edges: b.edges}
 	if err := st.Validate(); err != nil {
 		return nil, fmt.Errorf("steiner: internal error: %w", err)
 	}
-	if !b.within(st.Radius()) {
-		return nil, ErrInfeasible
+	for t, d := range st.PathLengths() {
+		if t == 0 {
+			continue
+		}
+		if !b.within(d) || !b.aboveLower(d) {
+			return nil, ErrInfeasible
+		}
 	}
 	return st, nil
 }
@@ -236,7 +272,7 @@ func newBuilder(in *inst.Instance, bound float64) *builder {
 			heap.Push(&b.h, pairItem{d: g.Dist(a, c), a: a, b: c})
 		}
 	}
-	// Opportunistic instrumentation, overridable by BKSTObserved.
+	// Opportunistic instrumentation, overridable by Config.Counters.
 	if sc := obs.DefaultScope(ScopeName); sc != nil {
 		b.c = NewCounters(sc)
 		b.c.publishGrid(g)
@@ -263,8 +299,12 @@ func (b *builder) complete() bool {
 	return true
 }
 
-func (b *builder) run() {
+func (b *builder) run(ctx context.Context) error {
+	chk := cancel.New(ctx, 64)
 	for b.h.Len() > 0 {
+		if err := chk.Tick(); err != nil {
+			return err
+		}
 		it := heap.Pop(&b.h).(pairItem)
 		if b.c != nil {
 			b.c.CandidatesExamined.Inc()
@@ -282,7 +322,7 @@ func (b *builder) run() {
 			continue
 		}
 		if b.complete() {
-			return
+			return nil
 		}
 	}
 	// Fallback: the heap ran dry with terminals still detached (possible
@@ -290,11 +330,15 @@ func (b *builder) run() {
 	// tree through its best witness node — the same node the feasibility
 	// invariant guarantees can carry a direct source connection.
 	for t := 1; t < b.g.NumTerminals(); t++ {
+		if err := chk.Err(); err != nil {
+			return err
+		}
 		id := b.g.Terminal(t)
 		if !b.ds.Same(b.srcGrid, id) {
 			b.fallbackConnect(id)
 		}
 	}
+	return nil
 }
 
 // within reports v <= bound with the same relative tolerance the core

@@ -1,10 +1,10 @@
 package steiner
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/geom"
 	"repro/internal/inst"
 )
 
@@ -32,28 +32,7 @@ func BKSTLU(in *inst.Instance, eps1, eps2 float64) (*SteinerTree, error) {
 // BKSTBounds runs the bounded Kruskal Steiner construction for an
 // arbitrary absolute bound window.
 func BKSTBounds(in *inst.Instance, bounds core.Bounds) (*SteinerTree, error) {
-	if err := bounds.Validate(); err != nil {
-		return nil, err
-	}
-	if in.Metric() != geom.Manhattan {
-		return nil, fmt.Errorf("steiner: BKST requires the Manhattan metric, got %v", in.Metric())
-	}
-	b := newBuilder(in, bounds.Upper)
-	b.lower = bounds.Lower
-	b.run()
-	st := &SteinerTree{grid: b.g, edges: b.edges}
-	if err := st.Validate(); err != nil {
-		return nil, fmt.Errorf("steiner: internal error: %w", err)
-	}
-	for t, d := range st.PathLengths() {
-		if t == 0 {
-			continue
-		}
-		if !b.within(d) || !b.aboveLower(d) {
-			return nil, ErrInfeasible
-		}
-	}
-	return st, nil
+	return BKSTBuild(context.Background(), in, bounds, Config{})
 }
 
 // BKSTPlanar constructs a bounded path length Steiner tree that never
@@ -67,23 +46,7 @@ func BKSTPlanar(in *inst.Instance, eps float64) (*SteinerTree, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("steiner: negative eps %g", eps)
 	}
-	if in.Metric() != geom.Manhattan {
-		return nil, fmt.Errorf("steiner: BKST requires the Manhattan metric, got %v", in.Metric())
-	}
-	b := newBuilder(in, in.Bound(eps))
-	b.planar = true
-	b.run()
-	if b.notPlanar {
-		return nil, ErrNotPlanar
-	}
-	st := &SteinerTree{grid: b.g, edges: b.edges}
-	if err := st.Validate(); err != nil {
-		return nil, fmt.Errorf("steiner: internal error: %w", err)
-	}
-	if !b.within(st.Radius()) {
-		return nil, ErrInfeasible
-	}
-	return st, nil
+	return BKSTBuild(context.Background(), in, core.UpperOnly(in, eps), Config{Planar: true})
 }
 
 // IsPlanarEmbedding reports whether every edge of the tree is a unit

@@ -1,8 +1,6 @@
 package steiner
 
 import (
-	"repro/internal/geom"
-	"repro/internal/inst"
 	"repro/internal/obs"
 )
 
@@ -74,23 +72,4 @@ func (b *builder) countMaze() {
 	if b.c != nil {
 		b.c.MazeRoutes.Inc()
 	}
-}
-
-// BKSTObserved is BKST recording construction metrics into an explicit
-// obs scope (which may be shared across runs; counters accumulate). A
-// nil scope turns recording off; the tree is identical either way.
-func BKSTObserved(in *inst.Instance, eps float64, sc *obs.Scope) (*SteinerTree, error) {
-	if eps < 0 {
-		return nil, fmtErrNegativeEps(eps)
-	}
-	if in.Metric() != geom.Manhattan {
-		return nil, fmtErrMetric(in.Metric())
-	}
-	b := newBuilder(in, in.Bound(eps))
-	b.c = nil
-	if sc != nil {
-		b.c = NewCounters(sc)
-		b.c.publishGrid(b.g)
-	}
-	return b.finish()
 }

@@ -1,15 +1,17 @@
 package steiner
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
-// BKSTObserved must build the same tree as BKST while recording grid
-// dimensions and construction counters; a nil scope disables recording.
-func TestBKSTObservedMatchesBKST(t *testing.T) {
+// BKSTBuild with explicit counters must build the same tree as BKST
+// while recording grid dimensions and construction counters.
+func TestBKSTBuildCountersMatchBKST(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	in := randomInstance(rng, 12, 40)
 
@@ -20,7 +22,7 @@ func TestBKSTObservedMatchesBKST(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	sc := reg.Scope(ScopeName)
-	observed, err := BKSTObserved(in, 0.3, sc)
+	observed, err := BKSTBuild(context.Background(), in, core.UpperOnly(in, 0.3), Config{Counters: NewCounters(sc)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +51,14 @@ func TestBKSTObservedMatchesBKST(t *testing.T) {
 		t.Errorf("embeds = %d, want >= %d", embeds, in.N()-1)
 	}
 
-	// Nil scope: recording off, identical tree.
-	silent, err := BKSTObserved(in, 0.3, nil)
+	// No counters: recording off, identical tree.
+	silent, err := BKSTBuild(context.Background(), in, core.UpperOnly(in, 0.3), Config{})
 	if err != nil || silent.Cost() != plain.Cost() {
-		t.Errorf("nil-scope build differs: %v %v", silent, err)
+		t.Errorf("counterless build differs: %v %v", silent, err)
 	}
 
 	// Validation errors surface before any building.
-	if _, err := BKSTObserved(in, -1, sc); err == nil {
+	if _, err := BKST(in, -1); err == nil {
 		t.Error("negative eps accepted")
 	}
 }
