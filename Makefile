@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint conformance race bench quick experiments examples cover fuzz metrics-smoke clean
+.PHONY: all build test vet lint conformance race bench bench-json bench-smoke quick experiments examples cover fuzz metrics-smoke clean
 
 all: build vet lint test conformance
 
@@ -34,6 +34,22 @@ race:
 # full benchmark sweep, including the per-table/figure harness benches
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# machine-readable record of the lazy-stream / parallel-kernel
+# benchmarks (tools/benchjson parses the go test output into JSON)
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkBKRUS(Stream|Eager)' -benchmem ./internal/core/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweepParallel|BenchmarkBKRUSSweep' -benchmem ./internal/engine/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDistMatrix' -benchmem ./internal/geom/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchmem ./internal/graph/ ; } \
+	| $(GO) run ./tools/benchjson -o BENCH_PR4.json
+
+# one-iteration smoke over the same benchmarks, cheap enough for CI
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkBKRUS(Stream|Eager)' -benchtime 1x -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepParallel' -benchtime 1x -benchmem ./internal/engine/
+	$(GO) test -run '^$$' -bench 'BenchmarkDistMatrix' -benchtime 1x ./internal/geom/
+	$(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchtime 1x ./internal/graph/
 
 # every table and figure at reduced size (seconds)
 quick:

@@ -134,9 +134,16 @@ type Config struct {
 	// nothing.
 	Counters *Counters
 	// Scratch, when non-nil, supplies the O(n²) working buffers and the
-	// sorted edge list, reused across runs instead of re-allocated. The
-	// scratch must not be shared between concurrent constructions.
+	// lazily sorted edge stream, reused across runs instead of
+	// re-allocated. The scratch must not be shared between concurrent
+	// constructions.
 	Scratch *Scratch
+	// EagerSort forces the historical behaviour of fully sorting the
+	// complete edge list up front instead of streaming it lazily. The
+	// resulting tree is byte-identical either way (the edge order is a
+	// strict total order, so the sorted sequence is unique); the knob
+	// exists for conformance tests and A/B benchmarks.
+	EagerSort bool
 }
 
 // BKRUSBuild is the full-control entry point behind every BKRUS variant:
@@ -154,29 +161,45 @@ func BKRUSBuild(ctx context.Context, in *inst.Instance, b Bounds, cfg Config) (*
 
 // Scratch holds the reusable working state of the BKRUS engine: the
 // O(n²) P-matrix, the radius and witness-order buffers, the disjoint
-// set, and the sorted complete-graph edge list (cached per instance,
-// which is immutable, so an ε-sweep over one instance sorts its edges
-// once). A zero Scratch is ready to use; it grows to the largest
-// instance it has served and is not safe for concurrent use.
+// set, and the lazily sorted edge stream (cached per instance, which is
+// immutable, so an ε-sweep over one instance shares one partially
+// drained stream — the prefix one run sorts is free for the next). A
+// zero Scratch is ready to use; it grows to the largest instance it has
+// served and is not safe for concurrent use.
 type Scratch struct {
-	p      []float64
-	r      []float64
-	byBase [][]int
-	ds     *graph.DisjointSet
+	p       []float64
+	r       []float64
+	baseKey []float64
+	byBase  [][]int
+	ds      *graph.DisjointSet
 
-	edges    []graph.Edge
-	edgesFor *inst.Instance
+	stream    *graph.EdgeStream
+	streamFor *inst.Instance
 }
 
-// sortedEdges returns the complete-graph edges of in sorted by weight,
-// recomputing only when the instance changes.
-func (s *Scratch) sortedEdges(in *inst.Instance, dm graph.Weights) []graph.Edge {
-	if s.edgesFor != in {
-		s.edges = graph.CompleteEdges(dm)
-		graph.SortEdges(s.edges)
-		s.edgesFor = in
+// edgeStream returns the cached lazy edge stream for in, rebuilding it
+// only when the instance changes and rewinding it otherwise.
+func (s *Scratch) edgeStream(in *inst.Instance, dm graph.Weights) *graph.EdgeStream {
+	if s.streamFor != in {
+		s.stream = graph.NewEdgeStream(dm)
+		s.streamFor = in
+	} else {
+		s.stream.Reset()
 	}
-	return s.edges
+	return s.stream
+}
+
+// Release drops the scratch's per-instance state — the cached edge
+// stream and the instance pointer keying it. Pooled scratches
+// (engine.Build's sync.Pool, engine.Sweep teardown) must call this
+// before parking, otherwise a long-lived pool entry pins the last
+// served instance and its O(n²) edge list forever — the server-style
+// reuse leak. The geometry-independent buffers (P-matrix, radii,
+// disjoint set) survive, so reuse across instances of similar size
+// still avoids re-allocation.
+func (s *Scratch) Release() {
+	s.stream = nil
+	s.streamFor = nil
 }
 
 // attach points the engine's buffers at the scratch, growing and
@@ -198,6 +221,11 @@ func (s *Scratch) attach(e *engine, n int) {
 			s.r[i] = 0
 		}
 	}
+	if cap(s.baseKey) < n {
+		s.baseKey = make([]float64, n)
+	} else {
+		s.baseKey = s.baseKey[:n]
+	}
 	if cap(s.byBase) < n {
 		s.byBase = make([][]int, n)
 	} else {
@@ -211,7 +239,7 @@ func (s *Scratch) attach(e *engine, n int) {
 	} else {
 		s.ds.Reset()
 	}
-	e.p, e.r, e.byBase, e.ds = s.p, s.r, s.byBase, s.ds
+	e.p, e.r, e.baseKey, e.byBase, e.ds = s.p, s.r, s.baseKey, s.byBase, s.ds
 }
 
 // engine carries the BKRUS working state for one construction.
@@ -221,10 +249,11 @@ type engine struct {
 	b       Bounds
 	p       []float64 // P[x][y] flattened: in-forest path lengths, 0 across trees
 	r       []float64 // radius of each node within its partial tree
+	baseKey []float64 // per-refresh witnessBase cache, indexed by node id
 	ds      *graph.DisjointSet
-	c       *Counters    // optional instrumentation (nil = off)
-	scratch *Scratch     // optional pooled buffers (nil = own allocations)
-	edges   []graph.Edge // complete-graph edges, sorted by weight
+	c       *Counters         // optional instrumentation (nil = off)
+	scratch *Scratch          // optional pooled buffers (nil = own allocations)
+	stream  *graph.EdgeStream // complete-graph edges in nondecreasing weight order
 	// byBase[rep] lists the members of the set named rep in ascending
 	// order of witnessBase = dist(S,x) + r[x] (lower-bound-ineligible
 	// members, base = +Inf, sort last). Since radius_M(x) >= r[x] for any
@@ -245,17 +274,20 @@ func newEngine(in *inst.Instance, b Bounds, cfg Config) *engine {
 	}
 	if e.scratch != nil {
 		e.scratch.attach(e, n)
-		e.edges = e.scratch.sortedEdges(in, e.dm)
+		e.stream = e.scratch.edgeStream(in, e.dm)
 	} else {
 		e.p = make([]float64, n*n)
 		e.r = make([]float64, n)
+		e.baseKey = make([]float64, n)
 		e.ds = graph.NewDisjointSet(n)
 		e.byBase = make([][]int, n)
 		for x := 0; x < n; x++ {
 			e.byBase[x] = []int{x}
 		}
-		e.edges = graph.CompleteEdges(e.dm)
-		graph.SortEdges(e.edges)
+		e.stream = graph.NewEdgeStream(e.dm)
+	}
+	if cfg.EagerSort {
+		e.stream.DrainSort()
 	}
 	// Opportunistic instrumentation: when no explicit counter set was
 	// given and a binary has installed a process-wide registry,
@@ -288,9 +320,17 @@ const cancelStride = 64
 func (e *engine) run(ctx context.Context) (*graph.Tree, error) {
 	chk := cancel.New(ctx, cancelStride)
 	t := graph.NewTree(e.n)
-	for _, ed := range e.edges {
-		if len(t.Edges) == e.n-1 {
-			break // early exit after V-1 unions
+	batches0, fallbacks0 := e.stream.Batches(), e.stream.Fallbacks()
+	defer func() {
+		if e.c != nil {
+			e.c.StreamBatches.Add(int64(e.stream.Batches() - batches0))
+			e.c.StreamFallbacks.Add(int64(e.stream.Fallbacks() - fallbacks0))
+		}
+	}()
+	for len(t.Edges) < e.n-1 {
+		ed, ok := e.stream.Next()
+		if !ok {
+			break
 		}
 		if err := chk.Tick(); err != nil {
 			return nil, err
@@ -445,12 +485,21 @@ func (e *engine) merge(ed graph.Edge) {
 // called after Union (radii changed during the merge). The merged list
 // is copied into the representative's existing byBase buffer, so a
 // pooled engine stops growing once the buffers reach steady state.
+// witnessBase is evaluated once per member into the baseKey cache
+// before sorting — the comparator then reads two cached floats instead
+// of recomputing dist+radius lookups O(k log k) times. Every pairwise
+// comparison returns the same boolean as the uncached comparator would
+// (the keys are the very values it recomputed), so sort.Slice produces
+// the identical permutation.
 func (e *engine) refreshByBase(member int) {
 	rep := e.ds.Find(member)
 	members := e.byBase[rep][:0]
 	members = append(members, e.ds.Members(rep)...)
+	for _, x := range members {
+		e.baseKey[x] = e.witnessBase(x)
+	}
 	sort.Slice(members, func(i, j int) bool {
-		return e.witnessBase(members[i]) < e.witnessBase(members[j])
+		return e.baseKey[members[i]] < e.baseKey[members[j]]
 	})
 	e.byBase[rep] = members
 }

@@ -24,6 +24,8 @@ const (
 	CtrLemmaRejections = "lemma_rejections"
 	CtrMerges          = "merges"
 	CtrWitnessScans    = "witness_scans"
+	CtrStreamBatches   = "stream_batches"
+	CtrStreamFallbacks = "stream_fallback_sorts"
 )
 
 // Counters is the BKRUS engine's obs-backed counter set. Construct with
@@ -38,6 +40,8 @@ type Counters struct {
 	LemmaRejections *obs.Counter // Lemma 6.1: direct source edge below the lower bound
 	Merges          *obs.Counter // accepted edges (always N-1 on success)
 	WitnessScans    *obs.Counter // nodes visited by (3-b) witness searches
+	StreamBatches   *obs.Counter // sorted batches the lazy edge stream produced
+	StreamFallbacks *obs.Counter // whole-tail fallback sorts the stream took
 }
 
 // NewCounters resolves the core counter set inside sc. A nil scope
@@ -50,6 +54,8 @@ func NewCounters(sc *obs.Scope) *Counters {
 		LemmaRejections: sc.Counter(CtrLemmaRejections),
 		Merges:          sc.Counter(CtrMerges),
 		WitnessScans:    sc.Counter(CtrWitnessScans),
+		StreamBatches:   sc.Counter(CtrStreamBatches),
+		StreamFallbacks: sc.Counter(CtrStreamFallbacks),
 	}
 }
 
@@ -62,6 +68,8 @@ func (c *Counters) stats() BuildStats {
 		LemmaRejections: int(c.LemmaRejections.Load()),
 		Merges:          int(c.Merges.Load()),
 		WitnessScans:    int(c.WitnessScans.Load()),
+		StreamBatches:   int(c.StreamBatches.Load()),
+		StreamFallbacks: int(c.StreamFallbacks.Load()),
 	}
 }
 
@@ -81,6 +89,8 @@ type BuildStats struct {
 	LemmaRejections int // Lemma 6.1: direct source edge below the lower bound
 	Merges          int // accepted edges (always N-1 on success)
 	WitnessScans    int // nodes visited by (3-b) witness searches
+	StreamBatches   int // sorted batches the lazy edge stream produced
+	StreamFallbacks int // whole-tail fallback sorts the stream took
 }
 
 // String summarizes the stats on one line.

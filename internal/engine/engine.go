@@ -99,6 +99,11 @@ type Params struct {
 	// set it only to pin a scratch across hand-rolled runs. Not safe for
 	// concurrent use.
 	Scratch *core.Scratch
+	// EagerSort forces the BKRUS family to fully sort the complete edge
+	// list up front instead of streaming it lazily. Trees are
+	// byte-identical either way; the knob exists for conformance tests
+	// and A/B benchmarks.
+	EagerSort bool
 }
 
 // rcModel resolves the Elmore model, defaulting the zero value.
@@ -112,7 +117,7 @@ func (p Params) rcModel() delay.Model {
 
 // coreConfig wires Params into the core layer's build hooks.
 func (p Params) coreConfig() core.Config {
-	cfg := core.Config{Scratch: p.Scratch}
+	cfg := core.Config{Scratch: p.Scratch, EagerSort: p.EagerSort}
 	if p.Obs != nil {
 		cfg.Counters = core.NewCounters(p.Obs.Scope(core.ScopeName))
 	}
@@ -277,7 +282,13 @@ func (r *Registry) Build(ctx context.Context, name string, in *inst.Instance, p 
 	}
 	if p.Scratch == nil {
 		s := scratchPool.Get().(*core.Scratch)
-		defer scratchPool.Put(s)
+		defer func() {
+			// Release before parking: a pooled scratch that kept its edge
+			// stream would pin the last instance (and its O(n²) edge list)
+			// for the pool entry's whole lifetime.
+			s.Release()
+			scratchPool.Put(s)
+		}()
 		p.Scratch = s
 	}
 	return c.Build(ctx, in, p)
@@ -295,6 +306,11 @@ func (r *Registry) Sweep(ctx context.Context, name string, in *inst.Instance, ps
 		return nil, err
 	}
 	var scratch core.Scratch
+	// The shared scratch caches the instance's partially sorted edge
+	// stream across the sweep; drop that cache at teardown so nothing
+	// that outlives the sweep (a caller-pinned p.Scratch alias, a future
+	// pooled variant) keeps the instance and its O(n²) edges alive.
+	defer scratch.Release()
 	out := make([]Result, len(ps))
 	for i, p := range ps {
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/inst"
+	"repro/internal/obs"
+)
+
+func epsParams(epss []float64) []Params {
+	ps := make([]Params, len(epss))
+	for i, e := range epss {
+		ps[i] = Params{Eps: e}
+	}
+	return ps
+}
+
+// A parallel sweep must return exactly what the serial sweep returns,
+// in input order, at every worker count.
+func TestSweepParallelMatchesSweep(t *testing.T) {
+	in := bench.P4()
+	ps := epsParams([]float64{0.1, 0.25, 0.4, 0.1, 0, 0.3, 0.2, 0.15})
+	want, err := Sweep(context.Background(), "bkrus", in, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := SweepParallel(context.Background(), "bkrus", in, ps, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !sameEdges(got[i].Tree, want[i].Tree) {
+				t.Errorf("workers=%d: result %d differs from serial sweep", workers, i)
+			}
+		}
+	}
+}
+
+func TestSweepParallelEmptyAndUnknown(t *testing.T) {
+	in := bench.P1()
+	got, err := SweepParallel(context.Background(), "bkrus", in, nil, SweepOptions{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sweep: %v, %v", got, err)
+	}
+	if _, err := SweepParallel(context.Background(), "no-such", in, epsParams([]float64{0.1}), SweepOptions{}); err == nil {
+		t.Fatal("unknown constructor accepted")
+	}
+}
+
+func TestSweepParallelRejectsPinnedScratch(t *testing.T) {
+	in := bench.P1()
+	ps := epsParams([]float64{0.1, 0.2})
+	ps[1].Scratch = &core.Scratch{}
+	if _, err := SweepParallel(context.Background(), "bkrus", in, ps, SweepOptions{}); err == nil {
+		t.Fatal("caller-pinned scratch accepted")
+	}
+}
+
+// Counter totals merged from per-cell registries must equal the serial
+// sweep's totals, at any worker count — the deterministic-merge
+// contract.
+func TestSweepParallelObsMergeDeterministic(t *testing.T) {
+	in := bench.P4()
+
+	serialTotals := func() map[string]int64 {
+		reg := obs.NewRegistry()
+		psr := epsParams([]float64{0.1, 0.25, 0.4, 0.15, 0.3})
+		for i := range psr {
+			psr[i].Obs = reg
+		}
+		if _, err := Sweep(context.Background(), "bkrus", in, psr); err != nil {
+			t.Fatal(err)
+		}
+		sc := reg.Scope(core.ScopeName)
+		return map[string]int64{
+			core.CtrEdgesExamined: sc.Counter(core.CtrEdgesExamined).Load(),
+			core.CtrMerges:        sc.Counter(core.CtrMerges).Load(),
+			core.CtrWitnessScans:  sc.Counter(core.CtrWitnessScans).Load(),
+		}
+	}()
+
+	for _, workers := range []int{1, 3, 5} {
+		reg := obs.NewRegistry()
+		psp := epsParams([]float64{0.1, 0.25, 0.4, 0.15, 0.3})
+		for i := range psp {
+			psp[i].Obs = reg
+		}
+		if _, err := SweepParallel(context.Background(), "bkrus", in, psp, SweepOptions{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		sc := reg.Scope(core.ScopeName)
+		for name, want := range serialTotals {
+			if got := sc.Counter(name).Load(); got != want {
+				t.Errorf("workers=%d: %s = %d, want %d", workers, name, got, want)
+			}
+		}
+		esc := reg.Scope(ScopeName)
+		if got := esc.Counter(CtrSweepRuns).Load(); got != int64(len(psp)) {
+			t.Errorf("workers=%d: %s = %d, want %d", workers, CtrSweepRuns, got, len(psp))
+		}
+		wantW := workers
+		if wantW > len(psp) {
+			wantW = len(psp)
+		}
+		if got := esc.Gauge(GaugeSweepWorkers).Load(); int(got) != wantW {
+			t.Errorf("workers=%d: %s = %v, want %d", workers, GaugeSweepWorkers, got, wantW)
+		}
+	}
+}
+
+// A failing cell aborts the sweep with the lowest-index real error;
+// cancellation ripple from sibling cells must not mask it.
+func TestSweepParallelErrorDeterminism(t *testing.T) {
+	reg := NewRegistry()
+	sentinel := errors.New("boom")
+	reg.Register(Info{Name: "flaky", Kind: Spanning}, func(ctx context.Context, in *inst.Instance, p Params) (Result, error) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if p.Eps < 0.05 {
+			return Result{}, fmt.Errorf("cell: %w", sentinel)
+		}
+		t, err := core.BKRUS(in, p.Eps)
+		return Result{Tree: t}, err
+	})
+	in := bench.P4()
+	ps := epsParams([]float64{0.3, 0.2, 0.01, 0.4, 0.02, 0.5})
+	for _, workers := range []int{1, 2, 4} {
+		_, err := reg.SweepParallel(context.Background(), "flaky", in, ps, SweepOptions{Workers: workers})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want the sentinel failure", workers, err)
+		}
+	}
+}
+
+func TestSweepParallelExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := bench.P4()
+	_, err := SweepParallel(ctx, "bkrus", in, epsParams([]float64{0.1, 0.2, 0.3}), SweepOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled sweep succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

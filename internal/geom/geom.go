@@ -97,10 +97,17 @@ type DistMatrix struct {
 	d []float64
 }
 
-// NewDistMatrix computes the full pairwise distance matrix of pts under m.
+// NewDistMatrix computes the full pairwise distance matrix of pts under
+// m. Large matrices are filled row-parallel when more than one worker
+// is available (see SetMatrixWorkers); the result is byte-identical to
+// the serial fill either way.
 func NewDistMatrix(pts []Point, m Metric) *DistMatrix {
 	n := len(pts)
 	dm := &DistMatrix{n: n, d: make([]float64, n*n)}
+	if w := matrixWorkers(); w > 1 && n >= parallelMatrixMin {
+		fillParallel(dm, pts, m, w)
+		return dm
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			w := m.Dist(pts[i], pts[j])
@@ -156,11 +163,14 @@ func (b BBox) HalfPerimeter() float64 { return b.Width() + b.Height() }
 // UniqueCoords returns the sorted distinct values of xs within tolerance
 // eps: values closer than eps collapse to the first representative. It is
 // used to build Hanan grids that are robust to floating-point coordinate
-// noise.
+// noise. The result never aliases xs, so callers may mutate either.
 func UniqueCoords(xs []float64, eps float64) []float64 {
 	if len(xs) == 0 {
 		return nil
 	}
+	// One defensive copy suffices: the dedup compacts s in place, and s
+	// is owned by this call, so returning the compacted prefix cannot
+	// alias the caller's slice.
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	out := s[:1]
@@ -169,7 +179,7 @@ func UniqueCoords(xs []float64, eps float64) []float64 {
 			out = append(out, v)
 		}
 	}
-	return append([]float64(nil), out...)
+	return out
 }
 
 // Collinear reports whether the three points are collinear within tolerance

@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Row-parallel distance-matrix fill. Building the O(n²) matrix is the
+// other half of a large-instance construction's setup cost (beside the
+// edge sort), and it parallelizes trivially by row.
+//
+// Determinism: each worker owns whole rows, so no two goroutines write
+// the same cell, and each cell's value is m.Dist of the same two points
+// regardless of which worker computes it — Manhattan takes math.Abs of
+// dx and -dx identically, Euclidean's math.Hypot is symmetric in sign —
+// so the parallel fill is byte-identical to the serial one. The cost is
+// that each unordered pair is computed twice (once per row); races and
+// a serial mirror pass would cost more than the duplicate arithmetic.
+
+// parallelMatrixMin is the node count below which the serial
+// upper-triangle fill always wins (goroutine startup dominates).
+const parallelMatrixMin = 128
+
+// matrixWorkersKnob overrides the fill's worker count: 0 means "gate on
+// runtime.GOMAXPROCS", 1 forces the serial path, n > 1 forces n
+// workers. Atomic so tests and benchmarks can flip it concurrently.
+var matrixWorkersKnob atomic.Int32
+
+// SetMatrixWorkers sets the package-level worker count for
+// NewDistMatrix and returns the previous setting. 0 restores the
+// default (runtime.GOMAXPROCS); 1 forces the serial path. Intended for
+// tests and benchmarks that must pin one path.
+func SetMatrixWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(matrixWorkersKnob.Swap(int32(n)))
+}
+
+func matrixWorkers() int {
+	if k := matrixWorkersKnob.Load(); k > 0 {
+		return int(k)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fillParallel fills dm with w workers, each owning every w-th row.
+// Strided assignment balances the load exactly because every full row
+// costs the same n-1 distance evaluations.
+func fillParallel(dm *DistMatrix, pts []Point, m Metric, w int) {
+	n := dm.n
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += w {
+				row := dm.d[i*n : (i+1)*n]
+				pi := pts[i]
+				for j, pj := range pts {
+					if j != i {
+						row[j] = m.Dist(pi, pj)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,30 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkDistMatrix measures the O(n²) matrix fill at pinned worker
+// counts (1 = the historical serial path). On a multi-core host the
+// parallel rows amortize; on a single-core host the gate keeps the
+// serial path and the workers>1 rows only measure goroutine overhead.
+func BenchmarkDistMatrix(b *testing.B) {
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, n := range []int{250, 500, 1000} {
+		pts := randPoints(rand.New(rand.NewSource(29)), n)
+		for _, w := range workerSet {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				prev := SetMatrixWorkers(w)
+				defer SetMatrixWorkers(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					NewDistMatrix(pts, Manhattan)
+				}
+			})
+		}
+	}
+}

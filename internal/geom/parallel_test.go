@@ -1,0 +1,88 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return pts
+}
+
+// TestNewDistMatrixParallelMatchesSerial pins the tentpole determinism
+// contract: the row-parallel fill is byte-identical to the serial
+// upper-triangle fill for both metrics, at several worker counts, above
+// and below the parallel gate.
+func TestNewDistMatrixParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 50, parallelMatrixMin, 200} {
+		pts := randPoints(rng, n)
+		for _, m := range []Metric{Manhattan, Euclidean} {
+			prev := SetMatrixWorkers(1)
+			serial := NewDistMatrix(pts, m)
+			for _, workers := range []int{2, 4, 7} {
+				SetMatrixWorkers(workers)
+				par := NewDistMatrix(pts, m)
+				for i := range serial.d {
+					if par.d[i] != serial.d[i] {
+						SetMatrixWorkers(prev)
+						t.Fatalf("n=%d %v workers=%d: cell %d differs: %v vs %v",
+							n, m, workers, i, par.d[i], serial.d[i])
+					}
+				}
+			}
+			SetMatrixWorkers(prev)
+		}
+	}
+}
+
+func TestSetMatrixWorkersKnob(t *testing.T) {
+	prev := SetMatrixWorkers(5)
+	defer SetMatrixWorkers(prev)
+	if got := matrixWorkers(); got != 5 {
+		t.Fatalf("matrixWorkers = %d, want 5", got)
+	}
+	if old := SetMatrixWorkers(0); old != 5 {
+		t.Fatalf("SetMatrixWorkers returned %d, want 5", old)
+	}
+	if got := matrixWorkers(); got < 1 {
+		t.Fatalf("default matrixWorkers = %d", got)
+	}
+	if old := SetMatrixWorkers(-1); old != 0 {
+		t.Fatalf("SetMatrixWorkers(-1) returned %d, want 0", old)
+	}
+	if got := matrixWorkers(); got < 1 {
+		t.Fatalf("negative knob broke matrixWorkers: %d", got)
+	}
+}
+
+// TestUniqueCoordsNoAlias pins the documented contract that the result
+// never shares backing storage with the input, in either direction.
+func TestUniqueCoordsNoAlias(t *testing.T) {
+	xs := []float64{3, 1, 2, 1, 3}
+	orig := append([]float64(nil), xs...)
+	out := UniqueCoords(xs, 1e-9)
+	if len(out) != 3 || out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("UniqueCoords = %v", out)
+	}
+	for i, v := range orig {
+		if xs[i] != v {
+			t.Fatalf("input mutated at %d: %v", i, xs)
+		}
+	}
+	// Mutating the result must not leak into the input and vice versa.
+	out[0] = -99
+	for i, v := range orig {
+		if xs[i] != v {
+			t.Fatalf("result aliases input at %d: %v", i, xs)
+		}
+	}
+	xs[0] = 42
+	if out[1] != 2 || out[2] != 3 {
+		t.Fatalf("input aliases result: %v", out)
+	}
+}

@@ -68,19 +68,28 @@ func CompleteEdges(w Weights) []Edge {
 	return edges
 }
 
+// edgeLess is the canonical edge order shared by SortEdges, the lazy
+// EdgeStream, and the parallel merge sort: nondecreasing weight with a
+// deterministic (U,V) tie-break. Because no two edges of a simple graph
+// share the same (U,V) pair, this is a strict *total* order — the sorted
+// sequence of any edge set is unique, which is what lets the lazy and
+// parallel kernels promise byte-identical output.
+func edgeLess(a, b Edge) bool {
+	//lint:ignore floatcmp a comparator must stay an exact strict weak order; epsilon ties would break sort transitivity
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
 // SortEdges sorts edges in nondecreasing weight order with a deterministic
 // (U,V) tie-break, so runs are reproducible across platforms.
 func SortEdges(edges []Edge) {
 	sort.Slice(edges, func(a, b int) bool {
-		ea, eb := edges[a], edges[b]
-		//lint:ignore floatcmp a comparator must stay an exact strict weak order; epsilon ties would break sort transitivity
-		if ea.W != eb.W {
-			return ea.W < eb.W
-		}
-		if ea.U != eb.U {
-			return ea.U < eb.U
-		}
-		return ea.V < eb.V
+		return edgeLess(edges[a], edges[b])
 	})
 }
 

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkEdgeStreamPrefix measures draining only the first n-1 edges
+// (a Kruskal-style consumer's best case) against the full sort the
+// eager path always pays. edges/op reports the consumed prefix.
+func BenchmarkEdgeStreamPrefix(b *testing.B) {
+	for _, n := range []int{100, 250, 500, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(17))
+			base := randomEdges(rng, n)
+			work := make([]Edge, len(base))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, base)
+				s := NewEdgeStreamFrom(work)
+				for k := 0; k < n-1; k++ {
+					if _, ok := s.Next(); !ok {
+						b.Fatal("stream ended early")
+					}
+				}
+			}
+			b.ReportMetric(float64(n-1), "edges/op")
+		})
+	}
+}
+
+// BenchmarkParallelSortEdges measures the full-sort fallback kernel at
+// pinned worker counts (1 = the serial sort.Slice path).
+func BenchmarkParallelSortEdges(b *testing.B) {
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, n := range []int{250, 500, 1000} {
+		rng := rand.New(rand.NewSource(19))
+		base := randomEdges(rng, n)
+		for _, w := range workerSet {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				prev := SetSortWorkers(w)
+				defer SetSortWorkers(prev)
+				work := make([]Edge, len(base))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(work, base)
+					ParallelSortEdges(work)
+				}
+			})
+		}
+	}
+}

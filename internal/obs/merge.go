@@ -1,0 +1,128 @@
+package obs
+
+import "math"
+
+// Registry merging. Parallel drivers (engine.SweepParallel) give each
+// worker a private registry so hot loops never contend on shared
+// atomics, then fold the workers' registries into the caller's registry
+// after the fan-in barrier. Folding in input order makes the combined
+// registry deterministic: counters, timers, and histograms are
+// commutative sums, and gauges are last-write-wins where "last" is the
+// highest input index, not a scheduling accident.
+
+// addRaw folds a pre-aggregated (duration, count) pair into the timer.
+func (t *Timer) addRaw(ns, n int64) {
+	t.ns.Add(ns)
+	t.n.Add(n)
+}
+
+// addSum folds v into the histogram's CAS-maintained observation sum.
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Merge folds every instrument of src into r: counters, timers, and
+// histogram buckets add; gauges overwrite (src wins); labels overwrite
+// (src wins). Scopes and instruments missing from r are created in
+// src's order. A nil receiver, nil src, or r == src is a no-op. Merge
+// locks src only while walking its maps — instrument values are read
+// via their own atomics — so concurrent recording into either registry
+// stays safe, though values recorded during the merge may or may not be
+// included.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	src.mu.Lock()
+	scopeNames := append([]string(nil), src.scopeOrder...)
+	scopes := make([]*Scope, len(scopeNames))
+	for i, name := range scopeNames {
+		scopes[i] = src.scopes[name]
+	}
+	labelKeys := append([]string(nil), src.labelOrder...)
+	labels := make([]string, len(labelKeys))
+	for i, k := range labelKeys {
+		labels[i] = src.labels[k]
+	}
+	src.mu.Unlock()
+
+	for i, name := range scopeNames {
+		r.Scope(name).merge(scopes[i])
+	}
+	for i, k := range labelKeys {
+		r.SetLabel(k, labels[i])
+	}
+}
+
+// merge folds src's instruments into s, creating them on first use in
+// src's registration order.
+func (s *Scope) merge(src *Scope) {
+	if s == nil || src == nil || s == src {
+		return
+	}
+	type namedCounter struct {
+		name string
+		c    *Counter
+	}
+	type namedGauge struct {
+		name string
+		g    *Gauge
+	}
+	type namedTimer struct {
+		name string
+		t    *Timer
+	}
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	src.mu.Lock()
+	counters := make([]namedCounter, 0, len(src.counters))
+	for _, name := range src.order[kindCounter] {
+		counters = append(counters, namedCounter{name, src.counters[name]})
+	}
+	gauges := make([]namedGauge, 0, len(src.gauges))
+	for _, name := range src.order[kindGauge] {
+		gauges = append(gauges, namedGauge{name, src.gauges[name]})
+	}
+	timers := make([]namedTimer, 0, len(src.timers))
+	for _, name := range src.order[kindTimer] {
+		timers = append(timers, namedTimer{name, src.timers[name]})
+	}
+	hists := make([]namedHist, 0, len(src.hists))
+	for _, name := range src.order[kindHistogram] {
+		hists = append(hists, namedHist{name, src.hists[name]})
+	}
+	src.mu.Unlock()
+
+	for _, nc := range counters {
+		if v := nc.c.Load(); v != 0 {
+			s.Counter(nc.name).Add(v)
+		} else {
+			s.Counter(nc.name) // still materialize, preserving order
+		}
+	}
+	for _, ng := range gauges {
+		s.Gauge(ng.name).Set(ng.g.Load())
+	}
+	for _, nt := range timers {
+		dst := s.Timer(nt.name)
+		dst.addRaw(int64(nt.t.Total()), nt.t.Count())
+	}
+	for _, nh := range hists {
+		dst := s.Histogram(nh.name, nh.h.Bounds()...)
+		for i := 0; i <= len(nh.h.Bounds()); i++ {
+			if v := nh.h.BucketCount(i); v != 0 && i < len(dst.counts) {
+				dst.counts[i].Add(v)
+			}
+		}
+		dst.n.Add(nh.h.Count())
+		dst.addSum(nh.h.Sum())
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryMergeFoldsEveryInstrumentKind(t *testing.T) {
+	dst := NewRegistry()
+	dst.Scope("core").Counter("edges").Add(10)
+	dst.Scope("core").Gauge("ratio").Set(1.5)
+	dst.Scope("core").Timer("wall").Observe(2 * time.Second)
+	dst.Scope("core").Histogram("cost", 1, 10).Observe(0.5)
+	dst.SetLabel("bin", "a")
+
+	src := NewRegistry()
+	src.Scope("core").Counter("edges").Add(5)
+	src.Scope("core").Counter("merges").Add(3)
+	src.Scope("core").Gauge("ratio").Set(2.5)
+	src.Scope("core").Timer("wall").Observe(time.Second)
+	h := src.Scope("core").Histogram("cost", 1, 10)
+	h.Observe(5)
+	h.Observe(100)
+	src.Scope("router").Counter("nets").Add(7)
+	src.SetLabel("bin", "b")
+	src.SetLabel("algo", "bkrus")
+
+	dst.Merge(src)
+
+	sc := dst.Scope("core")
+	if got := sc.Counter("edges").Load(); got != 15 {
+		t.Errorf("edges = %d, want 15", got)
+	}
+	if got := sc.Counter("merges").Load(); got != 3 {
+		t.Errorf("merges = %d, want 3", got)
+	}
+	if got := sc.Gauge("ratio").Load(); got != 2.5 {
+		t.Errorf("ratio = %v, want src-wins 2.5", got)
+	}
+	if w := sc.Timer("wall"); w.Count() != 2 || w.Total() != 3*time.Second {
+		t.Errorf("wall = %v over %d, want 3s over 2", w.Total(), w.Count())
+	}
+	ch := sc.Histogram("cost", 1, 10)
+	if ch.Count() != 3 || ch.Sum() != 105.5 {
+		t.Errorf("cost count/sum = %d/%v, want 3/105.5", ch.Count(), ch.Sum())
+	}
+	if ch.BucketCount(0) != 1 || ch.BucketCount(1) != 1 || ch.BucketCount(2) != 1 {
+		t.Errorf("cost buckets = %d/%d/%d, want 1/1/1",
+			ch.BucketCount(0), ch.BucketCount(1), ch.BucketCount(2))
+	}
+	if got := dst.Scope("router").Counter("nets").Load(); got != 7 {
+		t.Errorf("router/nets = %d, want 7", got)
+	}
+	if dst.labels["bin"] != "b" || dst.labels["algo"] != "bkrus" {
+		t.Errorf("labels = %v, want src-wins", dst.labels)
+	}
+}
+
+func TestRegistryMergeNilAndSelf(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Merge(NewRegistry()) // must not panic
+
+	r := NewRegistry()
+	r.Scope("s").Counter("c").Add(4)
+	r.Merge(nil)
+	r.Merge(r)
+	if got := r.Scope("s").Counter("c").Load(); got != 4 {
+		t.Errorf("self/nil merge changed counter: %d", got)
+	}
+}
+
+// Merging several registries in input order must be deterministic:
+// counters sum, and the last registry's gauge wins.
+func TestRegistryMergeOrderDeterminism(t *testing.T) {
+	mk := func(g float64, c int64) *Registry {
+		r := NewRegistry()
+		r.Scope("s").Gauge("g").Set(g)
+		r.Scope("s").Counter("c").Add(c)
+		return r
+	}
+	dst := NewRegistry()
+	for _, src := range []*Registry{mk(1, 10), mk(2, 20), mk(3, 30)} {
+		dst.Merge(src)
+	}
+	if got := dst.Scope("s").Counter("c").Load(); got != 60 {
+		t.Errorf("counter = %d, want 60", got)
+	}
+	if got := dst.Scope("s").Gauge("g").Load(); got != 3 {
+		t.Errorf("gauge = %v, want last-merged 3", got)
+	}
+}

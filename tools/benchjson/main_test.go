@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBKRUSStream/n=500-4         	      33	  35096999 ns/op	     61385 edges/op	 5237144 B/op	    5005 allocs/op
+BenchmarkBKRUSEager/n=500-4          	      26	  42248791 ns/op	     61385 edges/op	 5195272 B/op	    3697 allocs/op
+PASS
+ok  	repro/internal/core	3.456s
+goos: linux
+goarch: amd64
+pkg: repro/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepParallel/workers=4-4   	       5	 210000000 ns/op	        16.00 cells/op	 1000 B/op	      10 allocs/op
+PASS
+ok  	repro/internal/engine	1.234s
+`
+
+func TestParseTranscript(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkBKRUSStream/n=500-4" || b.Package != "repro/internal/core" {
+		t.Errorf("first bench identity = %q pkg %q", b.Name, b.Package)
+	}
+	if b.Iterations != 33 || b.NsPerOp != 35096999 || b.BytesPerOp != 5237144 || b.AllocsPerOp != 5005 {
+		t.Errorf("first bench values = %+v", b)
+	}
+	if b.Extra["edges/op"] != 61385 {
+		t.Errorf("edges/op = %v", b.Extra["edges/op"])
+	}
+	last := rep.Benchmarks[2]
+	if last.Package != "repro/internal/engine" || last.Extra["cells/op"] != 16 {
+		t.Errorf("last bench = %+v", last)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := `BenchmarkFoo
+Benchmark output that is not a result
+BenchmarkBar-1   10   100 ns/op
+some log line
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkBar-1" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseResultLineRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"BenchmarkX",
+		"BenchmarkX abc 100 ns/op",
+		"BenchmarkX 10 abc ns/op",
+		"BenchmarkX 10 100 B/op", // no ns/op anywhere
+		"BenchmarkX 0 100 ns/op",
+	}
+	for _, line := range bad {
+		if _, ok := parseResultLine(line); ok {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}
