@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint conformance race bench bench-json bench-smoke quick experiments examples cover fuzz metrics-smoke clean
+.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-smoke bench-diff quick experiments examples cover fuzz metrics-smoke clean
 
 all: build vet lint test conformance
 
@@ -12,8 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# domain-invariant analyzers (floatcmp, maporder, wallclock, obsgate);
-# see internal/analysis and the "Code invariants" section of README.md
+# the nine domain-invariant analyzers (floatcmp, maporder, wallclock,
+# obsgate, ctxpoll, parallelgate, waitpair, sharedwrite, errdrop); see
+# internal/analysis and the "Code invariants" section of README.md
 lint:
 	$(GO) run ./tools/lint ./...
 
@@ -31,6 +32,12 @@ conformance:
 race:
 	$(GO) test -race ./...
 
+# the parallel kernels under a fixed worker budget: GOMAXPROCS=4 makes
+# the gate/fallback split deterministic so the race detector exercises
+# the same schedule shape on every machine
+race-parallel:
+	GOMAXPROCS=4 $(GO) test -race ./internal/geom ./internal/graph ./internal/engine
+
 # full benchmark sweep, including the per-table/figure harness benches
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -43,6 +50,17 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkDistMatrix' -benchmem ./internal/geom/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchmem ./internal/graph/ ; } \
 	| $(GO) run ./tools/benchjson -o BENCH_PR4.json
+
+# one-iteration rerun of the committed benchmark set diffed against
+# the BENCH_PR4.json baseline; informational (no -fail-over) because a
+# 1x run is too noisy to gate on
+bench-diff:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkBKRUS(Stream|Eager)' -benchtime 1x -benchmem ./internal/core/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweepParallel|BenchmarkBKRUSSweep' -benchtime 1x -benchmem ./internal/engine/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDistMatrix' -benchtime 1x -benchmem ./internal/geom/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchtime 1x -benchmem ./internal/graph/ ; } \
+	| $(GO) run ./tools/benchjson -o /tmp/bench_head.json
+	$(GO) run ./tools/benchjson -diff BENCH_PR4.json /tmp/bench_head.json
 
 # one-iteration smoke over the same benchmarks, cheap enough for CI
 bench-smoke:

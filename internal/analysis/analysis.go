@@ -63,6 +63,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkg   *Package // backlink for the shared CFG/call-graph caches
 	diags *[]Diagnostic
 }
 
@@ -105,6 +106,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			pkg:      pkg,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -229,7 +231,10 @@ func analyzerRan(name string, ran []*Analyzer, importPath string) bool {
 
 // All returns the repository's analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, MapOrder, WallClock, ObsGate}
+	return []*Analyzer{
+		FloatCmp, MapOrder, WallClock, ObsGate,
+		CtxPoll, ParallelGate, WaitPair, SharedWrite, ErrDrop,
+	}
 }
 
 // pathIn reports whether importPath is one of the given paths.

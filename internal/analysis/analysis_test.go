@@ -22,7 +22,8 @@ import (
 func loadFixture(t *testing.T, dir, importPath string) *Package {
 	t.Helper()
 	lookup, err := exportLookup("", []string{
-		"fmt", "sort", "time", "math", "repro/internal/obs",
+		"fmt", "sort", "time", "math", "context", "sync", "runtime",
+		"strings", "repro/internal/obs", "repro/internal/cancel",
 	})
 	if err != nil {
 		t.Fatalf("building export lookup: %v", err)
@@ -146,6 +147,28 @@ func TestObsGateFixture(t *testing.T) {
 	checkFixture(t, ObsGate, filepath.Join("testdata", "obsgate"), "repro/internal/fixture")
 }
 
+func TestCtxPollFixture(t *testing.T) {
+	// The fake import path makes the fixture count as a cancellable
+	// construction package.
+	checkFixture(t, CtxPoll, filepath.Join("testdata", "ctxpoll"), "repro/internal/core")
+}
+
+func TestParallelGateFixture(t *testing.T) {
+	checkFixture(t, ParallelGate, filepath.Join("testdata", "parallelgate"), "repro/internal/graph")
+}
+
+func TestWaitPairFixture(t *testing.T) {
+	checkFixture(t, WaitPair, filepath.Join("testdata", "waitpair"), "repro/internal/graph")
+}
+
+func TestSharedWriteFixture(t *testing.T) {
+	checkFixture(t, SharedWrite, filepath.Join("testdata", "sharedwrite"), "repro/internal/graph")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	checkFixture(t, ErrDrop, filepath.Join("testdata", "errdrop"), "repro/internal/fixture")
+}
+
 // TestAppliesTo pins the per-analyzer package allowlists.
 func TestAppliesTo(t *testing.T) {
 	cases := []struct {
@@ -165,6 +188,17 @@ func TestAppliesTo(t *testing.T) {
 		{ObsGate, "repro/internal/router", true},
 		{ObsGate, "repro/internal/obs", false}, // the instruments themselves
 		{ObsGate, "repro/cmd/bmstree", false},  // binaries run off the hot path
+		{CtxPoll, "repro/internal/core", true},
+		{CtxPoll, "repro/internal/engine", true},
+		{CtxPoll, "repro/internal/geom", false}, // matrix fill takes no ctx by design
+		{ParallelGate, "repro/internal/geom", true},
+		{ParallelGate, "repro/internal/graph", true},
+		{ParallelGate, "repro/internal/engine", true},
+		{ParallelGate, "repro/internal/router", false}, // bounded pool, no serial twin
+		{WaitPair, "repro/internal/router", true},
+		{WaitPair, "repro/internal/obs", false},
+		{SharedWrite, "repro/internal/engine", true},
+		{SharedWrite, "repro/internal/core", false}, // serial by construction
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {
@@ -173,6 +207,9 @@ func TestAppliesTo(t *testing.T) {
 	}
 	if MapOrder.AppliesTo != nil {
 		t.Error("maporder must apply to every package")
+	}
+	if ErrDrop.AppliesTo != nil {
+		t.Error("errdrop must apply to every package")
 	}
 }
 

@@ -1,0 +1,174 @@
+package analysis
+
+// callgraph.go builds the package-local call graph the function-level
+// analyzers share. Nodes are the package's own function and method
+// declarations keyed by their go/types objects; edges are direct calls
+// resolved through the type checker (so shadowing and method sets are
+// handled), restricted to callees declared in the same package. The
+// graph is intraprocedural beyond one package on purpose: callees in
+// other packages are opaque, and analyzers encode their assumptions
+// about them explicitly (ctxpoll, for instance, assumes an imported
+// callee that receives a context.Context polls it).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cgNode is one declared function or method of the package.
+type cgNode struct {
+	decl *ast.FuncDecl
+	out  []types.Object // package-local callees, in call-site order
+}
+
+// callGraph maps each declared function object to its node and records
+// every package-local call site for caller-side queries.
+type callGraph struct {
+	funcs map[types.Object]*cgNode
+	// sites[callee] lists each call of callee from inside the package,
+	// with the innermost enclosing function node (decl or literal).
+	sites map[types.Object][]callSite
+}
+
+type callSite struct {
+	call      *ast.CallExpr
+	inFunc    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	inFuncObj types.Object
+}
+
+// pkgCallGraph returns the package's call graph, building and caching
+// it on first use.
+func pkgCallGraph(p *Pass) *callGraph {
+	if p.pkg != nil && p.pkg.cg != nil {
+		return p.pkg.cg
+	}
+	cg := &callGraph{
+		funcs: map[types.Object]*cgNode{},
+		sites: map[types.Object][]callSite{},
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := p.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			node := &cgNode{decl: fd}
+			declObj := obj
+			// Track the innermost enclosing function node while
+			// walking, so call sites inside goroutine literals are
+			// attributed to the literal, not the declaration.
+			var walk func(n ast.Node, inFunc ast.Node)
+			walk = func(n ast.Node, inFunc ast.Node) {
+				ast.Inspect(n, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok && m != n {
+						walk(lit.Body, lit)
+						return false
+					}
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeObject(p, call)
+					if callee == nil || callee.Pkg() != p.Pkg {
+						return true
+					}
+					node.out = append(node.out, callee)
+					cg.sites[callee] = append(cg.sites[callee], callSite{
+						call: call, inFunc: inFunc, inFuncObj: declObj,
+					})
+					return true
+				})
+			}
+			walk(fd.Body, fd)
+			cg.funcs[obj] = node
+		}
+	}
+	if p.pkg != nil {
+		p.pkg.cg = cg
+	}
+	return cg
+}
+
+// calleeObject resolves a call expression to the *types.Func it
+// invokes, or nil for builtins, conversions and indirect calls.
+func calleeObject(p *Pass, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fn.Sel]
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return nil
+	}
+	return obj
+}
+
+// bodyReaches reports whether the AST subtree body contains — directly,
+// or transitively through calls to functions declared in this package —
+// a call for which pred returns true. This is the shared "does this
+// loop reach a call to X" helper; recursion through the call graph is
+// cut off by treating in-progress functions as not reaching.
+func (cg *callGraph) bodyReaches(p *Pass, body ast.Node, pred func(*Pass, *ast.CallExpr) bool) bool {
+	memo := map[types.Object]int{} // 1 = reaches, 2 = does not / visiting
+	var funcReaches func(obj types.Object) bool
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pred(p, call) {
+				found = true
+				return false
+			}
+			if callee := calleeObject(p, call); callee != nil {
+				if _, local := cg.funcs[callee]; local && funcReaches(callee) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	funcReaches = func(obj types.Object) bool {
+		if v, ok := memo[obj]; ok {
+			return v == 1
+		}
+		memo[obj] = 2
+		if scan(cg.funcs[obj].decl.Body) {
+			memo[obj] = 1
+			return true
+		}
+		return false
+	}
+	return scan(body)
+}
+
+// enclosingFuncNode returns the innermost function declaration or
+// literal in file f that contains pos, or nil.
+func enclosingFuncNode(f *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n // innermost wins: Inspect visits outer first
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,487 @@
+package analysis
+
+// cfg.go builds intraprocedural control-flow graphs over go/ast
+// function bodies. The graphs are deliberately modest — basic blocks
+// with successor/predecessor edges, loop back-edges, a defer chain on
+// the exit paths, and pessimistic panic edges into that chain — which
+// is exactly enough for the dominance and reachability questions the
+// concurrency analyzers ask ("is this go statement dominated by a
+// worker gate", "does every exit path of this goroutine body run
+// wg.Done"). Known imprecision, by design:
+//
+//   - function literals are opaque: a FuncLit appearing in a statement
+//     is part of that statement's node, and its body gets its own CFG
+//     when an analyzer asks for one — the outer graph never descends
+//     into it;
+//   - defers are assumed unconditional: a defer registered inside a
+//     branch still contributes its call to the exit chain of every
+//     path;
+//   - goto is treated as a terminator without an edge to its label
+//     (the repository does not use goto).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// cfgBlock is one basic block: a run of statements (and branch
+// condition expressions) with no internal control flow.
+type cfgBlock struct {
+	index int
+	kind  string // entry, if.cond, for.head, range.head, defer, exit, ...
+	nodes []ast.Node
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks    []*cfgBlock
+	entry     *cfgBlock
+	exit      *cfgBlock
+	deferHead *cfgBlock // first block of the defer chain; nil without defers
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock("entry")
+	b.ret = b.newBlock("return")
+	b.cur = g.entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.ret)
+
+	// Exit paths run the registered defers in reverse order. Panic
+	// edges below make the chain reachable from any block that can
+	// unwind.
+	prev := b.ret
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		d := b.newBlock("defer")
+		d.nodes = append(d.nodes, b.defers[i].Call)
+		b.edge(prev, d)
+		prev = d
+	}
+	g.exit = b.newBlock("exit")
+	b.edge(prev, g.exit)
+	if len(b.defers) > 0 {
+		g.deferHead = b.ret.succs[0]
+		for _, blk := range g.blocks {
+			if blk == b.ret || blk == g.exit || blk.kind == "defer" {
+				continue
+			}
+			if blockMayPanic(blk) {
+				b.edge(blk, g.deferHead)
+			}
+		}
+	}
+	return g
+}
+
+// cfgTarget is one enclosing break/continue destination.
+type cfgTarget struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select (break only)
+}
+
+type cfgBuilder struct {
+	g       *funcCFG
+	cur     *cfgBlock
+	ret     *cfgBlock // pre-exit block all returns feed
+	targets []cfgTarget
+	defers  []*ast.DeferStmt
+	label   string // pending label for the next loop/switch/select
+}
+
+func (b *cfgBuilder) newBlock(kind string) *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks), kind: kind}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.nodes = append(b.cur.nodes, n) }
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.ret)
+		b.cur = b.newBlock("unreachable")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s)
+	default:
+		// Assignments, declarations, expression statements, go
+		// statements, sends, inc/dec: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	cond := b.newBlock("if.cond")
+	b.edge(b.cur, cond)
+	b.cur = cond
+	b.add(s.Cond)
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	join := b.newBlock("if.done")
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, join)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, join)
+	}
+	contTo := head
+	if s.Post != nil {
+		post := b.newBlock("for.post")
+		post.nodes = append(post.nodes, s.Post)
+		b.edge(post, head) // loop back-edge
+		contTo = post
+	}
+	b.targets = append(b.targets, cfgTarget{label, join, contTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, contTo) // back-edge when there is no post statement
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	head.nodes = append(head.nodes, s.X)
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, join)
+	b.targets = append(b.targets, cfgTarget{label, join, head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head) // loop back-edge
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.add(init)
+	}
+	head := b.newBlock("switch.head")
+	b.edge(b.cur, head)
+	if tag != nil {
+		head.nodes = append(head.nodes, tag)
+	}
+	join := b.newBlock("switch.done")
+	b.targets = append(b.targets, cfgTarget{label, join, nil})
+	caseBlocks := make([]*cfgBlock, len(body.List))
+	for i := range body.List {
+		caseBlocks[i] = b.newBlock("switch.case")
+	}
+	hasDefault := false
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, caseBlocks[i])
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(caseBlocks) {
+					b.edge(b.cur, caseBlocks[i+1])
+				}
+				b.cur = b.newBlock("unreachable")
+				continue
+			}
+			b.stmt(st)
+		}
+		b.edge(b.cur, join)
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.newBlock("select.head")
+	b.edge(b.cur, head)
+	join := b.newBlock("select.done")
+	b.targets = append(b.targets, cfgTarget{label, join, nil})
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		cb := b.newBlock("select.case")
+		b.edge(head, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findTarget(s.Label, false); t != nil {
+			b.edge(b.cur, t.breakTo)
+		}
+	case token.CONTINUE:
+		if t := b.findTarget(s.Label, true); t != nil {
+			b.edge(b.cur, t.continueTo)
+		}
+	}
+	// goto: terminator without a modeled edge; fallthrough is handled
+	// by switchStmt before reaching here.
+	b.cur = b.newBlock("unreachable")
+}
+
+// findTarget resolves a break/continue to its enclosing target,
+// innermost first; labeled branches match the target's label.
+func (b *cfgBuilder) findTarget(label *ast.Ident, isContinue bool) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if isContinue && t.continueTo == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+// blockMayPanic reports whether the block contains a function call (the
+// conservative stand-in for "can unwind"), ignoring calls inside nested
+// function literals.
+func blockMayPanic(blk *cfgBlock) bool {
+	for _, n := range blk.nodes {
+		may := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				may = true
+				return false
+			}
+			return !may
+		})
+		if may {
+			return true
+		}
+	}
+	return false
+}
+
+// blockOf returns the block holding the innermost node that spans pos,
+// or nil when no block node covers it.
+func (g *funcCFG) blockOf(pos token.Pos) *cfgBlock {
+	var best *cfgBlock
+	var bestSpan token.Pos = -1
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				span := n.End() - n.Pos()
+				if bestSpan < 0 || span < bestSpan {
+					best, bestSpan = blk, span
+				}
+			}
+		}
+	}
+	return best
+}
+
+// dominators computes immediate dominators for the blocks reachable
+// from entry (Cooper–Harvey–Kennedy iteration over reverse postorder).
+// The returned slice is indexed by block index; unreachable blocks get
+// nil, the entry dominates itself.
+func (g *funcCFG) dominators() []*cfgBlock {
+	var post []*cfgBlock
+	seen := make([]bool, len(g.blocks))
+	var dfs func(*cfgBlock)
+	dfs = func(blk *cfgBlock) {
+		seen[blk.index] = true
+		for _, s := range blk.succs {
+			if !seen[s.index] {
+				dfs(s)
+			}
+		}
+		post = append(post, blk)
+	}
+	dfs(g.entry)
+
+	rpoNum := make([]int, len(g.blocks))
+	rpo := make([]*cfgBlock, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpoNum[post[i].index] = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+
+	idom := make([]*cfgBlock, len(g.blocks))
+	idom[g.entry.index] = g.entry
+	intersect := func(a, c *cfgBlock) *cfgBlock {
+		for a != c {
+			for rpoNum[a.index] > rpoNum[c.index] {
+				a = idom[a.index]
+			}
+			for rpoNum[c.index] > rpoNum[a.index] {
+				c = idom[c.index]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rpo[1:] {
+			var ni *cfgBlock
+			for _, p := range blk.preds {
+				if idom[p.index] == nil {
+					continue
+				}
+				if ni == nil {
+					ni = p
+				} else {
+					ni = intersect(ni, p)
+				}
+			}
+			if ni != nil && idom[blk.index] != ni {
+				idom[blk.index] = ni
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether a dominates blk under the given idom
+// relation (a block dominates itself).
+func dominates(idom []*cfgBlock, a, blk *cfgBlock) bool {
+	for blk != nil {
+		if blk == a {
+			return true
+		}
+		next := idom[blk.index]
+		if next == blk {
+			return false // reached entry
+		}
+		blk = next
+	}
+	return false
+}
+
+// canReach reports whether to is reachable from from without entering a
+// block for which avoid returns true.
+func (g *funcCFG) canReach(from, to *cfgBlock, avoid func(*cfgBlock) bool) bool {
+	if avoid != nil && avoid(from) {
+		return false
+	}
+	seen := make([]bool, len(g.blocks))
+	stack := []*cfgBlock{from}
+	seen[from.index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == to {
+			return true
+		}
+		for _, s := range blk.succs {
+			if seen[s.index] || (avoid != nil && avoid(s)) {
+				continue
+			}
+			seen[s.index] = true
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// debugString renders the graph structure ("b0 entry -> b1 b2" per
+// line) for the table-driven CFG tests.
+func (g *funcCFG) debugString() string {
+	var sb strings.Builder
+	for _, blk := range g.blocks {
+		fmt.Fprintf(&sb, "b%d %s ->", blk.index, blk.kind)
+		for _, s := range blk.succs {
+			fmt.Fprintf(&sb, " b%d", s.index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

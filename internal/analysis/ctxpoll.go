@@ -1,0 +1,287 @@
+package analysis
+
+// ctxpoll enforces the cancellation contract PR 3 introduced: every
+// construction entry point threads a context.Context, and its long
+// loops poll an internal/cancel stride Checker so a deadline or
+// cancellation lands promptly even mid-scan.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cancelPath is the import path of the stride-poller package.
+const cancelPath = "repro/internal/cancel"
+
+// ctxPollPackages are the packages whose constructions promise prompt
+// cancellation: the deterministic construction layers plus the engine
+// that dispatches them.
+var ctxPollPackages = []string{
+	"repro/internal/core",
+	"repro/internal/mst",
+	"repro/internal/steiner",
+	"repro/internal/baseline",
+	"repro/internal/exchange",
+	"repro/internal/exact",
+	"repro/internal/delay",
+	"repro/internal/engine",
+}
+
+// CtxPoll flags instance-sized loops in cancellable functions that
+// never reach a cancellation poll. A function is cancellable when it
+// handles a context.Context or a cancel.Checker (parameter, local, or
+// receiver field); inside one, a loop whose trip count scales with the
+// instance must poll — otherwise a cancelled construction keeps burning
+// CPU until the scan finishes, which on the O(n²) edge order is the
+// whole point of cancellation.
+//
+// A loop "reaches a poll" when its body (or an enclosing loop's body in
+// the same function) contains, directly or transitively through
+// package-local calls, one of:
+//
+//   - a cancel.Checker Tick or Err call (the stride poller),
+//   - a ctx.Done() / ctx.Err() read, e.g. inside a select, or
+//   - a call that passes a context.Context on — the callee inherits
+//     the polling obligation (checked when that callee is in an
+//     allowlisted package, assumed honored for imported ones).
+//
+// "Instance-sized" is a syntactic approximation: ranges over slices,
+// maps and channels, `for` statements without a condition, and `for`
+// conditions that read a length, field or element. Loops bounded by a
+// plain local variable (worker counts, retry budgets) are exempt —
+// known imprecision, documented in DESIGN.md §10. To keep the signal
+// useful, only loops that do real work per iteration are held to the
+// contract: a body with a nested loop or a call into this module.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "instance-sized loops in cancellable construction code must reach a cancel.Checker/ctx poll",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, ctxPollPackages...)
+	},
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(p *Pass) {
+	cg := pkgCallGraph(p)
+	for _, f := range p.Files {
+		// Visit every function scope (declaration or literal)
+		// separately: a goroutine body polls for itself.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncLoops(p, cg, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncLoops(p, cg, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncLoops walks one function scope's own statements (not nested
+// function literals) and reports unpolled instance-sized loops.
+func checkFuncLoops(p *Pass, cg *callGraph, body *ast.BlockStmt) {
+	if !handlesCancellation(p, body) {
+		return
+	}
+	// polled caches per-loop "body reaches a poll" so ancestors are
+	// only scanned once.
+	polled := map[ast.Node]bool{}
+	reaches := func(loop ast.Node) bool {
+		if v, ok := polled[loop]; ok {
+			return v
+		}
+		v := cg.bodyReaches(p, loopBody(loop), isPollCall)
+		polled[loop] = v
+		return v
+	}
+	var visit func(n ast.Node, enclosing []ast.Node)
+	visit = func(n ast.Node, enclosing []ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m.(type) {
+			case *ast.FuncLit:
+				return false // separate scope, visited by the caller
+			case *ast.ForStmt, *ast.RangeStmt:
+				if instanceSized(p, m) && loopDoesWork(p, m) {
+					ok := reaches(m)
+					for _, anc := range enclosing {
+						ok = ok || reaches(anc)
+					}
+					if !ok {
+						p.Reportf(m.Pos(),
+							"instance-sized loop without a cancellation poll: add a cancel.Checker Tick/Err (or poll ctx) so cancellation lands mid-scan")
+					}
+				}
+				visit(loopBody(m), append(enclosing, m))
+				return false
+			}
+			return true
+		})
+	}
+	visit(body, nil)
+}
+
+// handlesCancellation reports whether the function scope touches a
+// context.Context or cancel.Checker value anywhere (parameters count
+// through their uses, receiver fields through selector expressions).
+func handlesCancellation(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(e); t != nil && (isContextType(t) || isCancelChecker(t)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isCancelChecker(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == cancelPath && named.Obj().Name() == "Checker"
+}
+
+// isPollCall reports whether call is a cancellation poll: a
+// cancel.Checker Tick/Err, a context Done/Err read, or a call that
+// forwards a context.Context to its callee.
+func isPollCall(p *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == cancelPath &&
+				(obj.Name() == "Tick" || obj.Name() == "Err"):
+				return true
+			case obj.Pkg().Path() == "context" &&
+				(obj.Name() == "Done" || obj.Name() == "Err"):
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if t := p.TypeOf(arg); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(loop ast.Node) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// instanceSized approximates "trip count scales with the instance":
+// ranging over a slice, map, channel or non-constant integer, a `for`
+// without a condition, or a `for` condition that reads a length, field
+// or element (e.g. `len(t.Edges) < e.n-1`).
+func instanceSized(p *Pass, loop ast.Node) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		t := p.TypeOf(l.X)
+		if t == nil {
+			return false
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Chan:
+			return true
+		case *types.Basic:
+			if u.Info()&types.IsInteger != 0 {
+				tv, ok := p.Info.Types[l.X]
+				return !ok || tv.Value == nil // non-constant bound
+			}
+		}
+		return false
+	case *ast.ForStmt:
+		if l.Cond == nil {
+			return true
+		}
+		sized := false
+		ast.Inspect(l.Cond, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.CallExpr, *ast.SelectorExpr, *ast.IndexExpr:
+				sized = true
+			}
+			return !sized
+		})
+		return sized
+	}
+	return false
+}
+
+// loopDoesWork reports whether the loop body performs per-iteration
+// work worth polling around: a nested loop, or a call into this module
+// (same package or any repro/... import). Loops that only shuffle
+// locals or call the stdlib finish in microseconds and may stay
+// unpolled.
+func loopDoesWork(p *Pass, loop ast.Node) bool {
+	works := false
+	ast.Inspect(loopBody(loop), func(n ast.Node) bool {
+		if works {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != loop {
+				works = true
+				return false
+			}
+		case *ast.CallExpr:
+			if obj := calleeAny(p, m); obj != nil {
+				if obj.Pkg() == p.Pkg ||
+					(obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), "repro/")) {
+					works = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return works
+}
+
+// calleeAny resolves a call to its function object like calleeObject,
+// but without restricting to *types.Func declarations (func-typed
+// variables count as work too).
+func calleeAny(p *Pass, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fn.Sel]
+	}
+	return nil
+}

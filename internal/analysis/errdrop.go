@@ -1,0 +1,131 @@
+package analysis
+
+// errdrop flags call statements that silently discard an error result.
+// The construction pipeline communicates failure (invalid instance,
+// cancelled context, infeasible bound) exclusively through error
+// returns; a dropped error turns those into silent wrong answers.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop reports expression statements whose call returns an error
+// (alone or as the last element of a tuple) that the caller ignores.
+// Assigning to the blank identifier is allowed — `_ = f()` states the
+// intent. Exempt by design:
+//
+//   - fmt's Print/Fprint family (their errors are terminal-I/O noise);
+//   - methods on strings.Builder and bytes.Buffer (documented to never
+//     return a non-nil error);
+//   - deferred calls and `go` statements: deferred cleanup is
+//     best-effort by convention, and a goroutine's error must travel
+//     through a channel anyway, which this analyzer cannot see.
+//
+// Test files are never loaded by the framework, so the check applies
+// to production code only.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "call results carrying an error must be handled or explicitly discarded with _ =",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || errDropExempt(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"result of %s carries an error that is dropped: handle it or discard explicitly with _ =", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is error, or a
+// tuple whose last element is error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// errDropExempt covers the calls whose error is dropped by universal
+// convention.
+func errDropExempt(p *Pass, call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[fn]
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+			printishName(obj.Name())
+	case *ast.SelectorExpr:
+		obj := p.Info.Uses[fn.Sel]
+		if obj == nil {
+			return false
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && printishName(obj.Name()) {
+			return true
+		}
+		return neverFailsReceiver(p.TypeOf(fn.X))
+	}
+	return false
+}
+
+// printishName matches fmt's Print-family function names.
+func printishName(name string) bool {
+	return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+}
+
+// neverFailsReceiver reports whether t is a type whose methods are
+// documented to always return a nil error.
+func neverFailsReceiver(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callName renders the called function for the diagnostic message.
+func callName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "call"
+}

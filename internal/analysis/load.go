@@ -25,6 +25,8 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	cg *callGraph // lazily built package-local call graph
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -35,6 +37,20 @@ type listEntry struct {
 	Export     string
 	Error      *struct{ Err string }
 }
+
+// LoadError is a package that could not be listed, parsed, or
+// type-checked. Drivers use it to name the failing package and exit
+// distinctly from "findings present".
+type LoadError struct {
+	ImportPath string // import path, or the pattern when listing failed
+	Err        error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("loading %s: %v", e.ImportPath, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
 
 // goList runs `go list` in dir with the given arguments and decodes
 // the JSON package stream.
@@ -94,8 +110,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	targets, err := goList(dir, append([]string{"list",
-		"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	// -e keeps go list from dying with an unstructured message on a
+	// broken package: the entry comes back with Error set instead, so
+	// the failure can be attributed to its import path.
+	targets, err := goList(dir, append([]string{"list", "-e",
+		"-json=ImportPath,Dir,GoFiles,Error"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +128,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var pkgs []*Package
 	for _, t := range targets {
 		if t.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", t.ImportPath, t.Error.Err)
+			name := t.ImportPath
+			if name == "" {
+				name = t.Dir
+			}
+			return nil, &LoadError{ImportPath: name, Err: fmt.Errorf("%s", t.Error.Err)}
 		}
 		if len(t.GoFiles) == 0 {
 			continue
@@ -121,13 +144,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			path := filepath.Join(t.Dir, name)
 			f, err := parser.ParseFile(fset, relToCwd(path), nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %v", path, err)
+				return nil, &LoadError{ImportPath: t.ImportPath, Err: fmt.Errorf("parsing: %v", err)}
 			}
 			files = append(files, f)
 		}
 		pkg, info, err := typeCheck(fset, t.ImportPath, files, imp)
 		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+			return nil, &LoadError{ImportPath: t.ImportPath, Err: fmt.Errorf("type-checking: %v", err)}
 		}
 		pkgs = append(pkgs, &Package{
 			ImportPath: t.ImportPath,

@@ -1,0 +1,45 @@
+// Fixture: true positives for the errdrop analyzer. Lines marked
+// `want:errdrop` must each produce exactly one diagnostic.
+package fixture
+
+// droppedError ignores a bare error result.
+func droppedError() {
+	validate(3) // want:errdrop
+}
+
+// droppedTupleError ignores the error half of a (value, error) pair.
+func droppedTupleError() {
+	build(3) // want:errdrop
+}
+
+// droppedMethodError ignores an error from a method call.
+func droppedMethodError(s *sink) {
+	s.flush() // want:errdrop
+}
+
+func validate(n int) error {
+	if n < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+func build(n int) (int, error) {
+	if err := validate(n); err != nil {
+		return 0, err
+	}
+	return n * n, nil
+}
+
+type sink struct{ n int }
+
+func (s *sink) flush() error {
+	s.n = 0
+	return nil
+}
+
+type simpleError string
+
+func (e simpleError) Error() string { return string(e) }
+
+var errNegative error = simpleError("negative size")

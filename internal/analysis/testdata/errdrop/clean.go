@@ -1,0 +1,55 @@
+// Fixture: clean cases for the errdrop analyzer — none of these lines
+// may produce a diagnostic.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+// handled checks the error.
+func handled() error {
+	if err := validate(3); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard states the intent with a blank assignment.
+func explicitDiscard() {
+	_ = validate(3)
+	_, _ = build(3)
+}
+
+// printFamily: fmt's Print errors are terminal-I/O noise by
+// convention.
+func printFamily(w *strings.Builder) {
+	fmt.Println("building")
+	fmt.Fprintf(w, "n=%d", 3)
+}
+
+// builderWrites: strings.Builder methods never return a non-nil error.
+func builderWrites(b *strings.Builder) string {
+	b.WriteString("edges: ")
+	b.WriteByte('[')
+	return b.String()
+}
+
+// deferredCleanup: deferred calls are best-effort by convention.
+func deferredCleanup(s *sink) {
+	defer s.flush()
+	s.n++
+}
+
+// noError drops a plain value, which is the caller's business.
+func noError() {
+	side(3)
+}
+
+// suppressed documents a justified exemption.
+func suppressed(s *sink) {
+	//lint:ignore errdrop fixture: sink.flush is documented to never fail for in-memory sinks
+	s.flush()
+}
+
+func side(n int) int { return n + 1 }

@@ -1,0 +1,56 @@
+// Fixture: true positives for the parallelgate analyzer (type-checked
+// as if it were a parallel-kernel package). Lines marked
+// `want:parallelgate` must each produce exactly one diagnostic.
+package fixture
+
+import "sync"
+
+// alwaysSpawns fans out unconditionally: no worker-count gate, no
+// serial fallback.
+func alwaysSpawns(rows [][]float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) { // want:parallelgate
+			defer wg.Done()
+			fill(rows[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// spawnLoopIsNoGate: the worker loop's own `g < w` bound is not a
+// gate — with w >= 1 the pool always spawns, so there is no serial
+// path.
+func spawnLoopIsNoGate(rows [][]float64, w int) {
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) { // want:parallelgate
+			defer wg.Done()
+			for i := g; i < len(rows); i += w {
+				fill(rows[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// exportedUngatedHelper spawns without a gate and is exported, so the
+// caller-side escape hatch does not apply: outside callers cannot be
+// checked.
+func ExportedUngatedHelper(rows [][]float64, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want:parallelgate
+		defer wg.Done()
+		for i := range rows {
+			fill(rows[i])
+		}
+	}()
+}
+
+func fill(row []float64) {
+	for j := range row {
+		row[j] = 0
+	}
+}

@@ -1,0 +1,99 @@
+// Fixture: clean cases for the sharedwrite analyzer — none of these
+// lines may produce a diagnostic.
+package fixture
+
+import "sync"
+
+// disjointSlots: each worker owns the slot named by its argument.
+func disjointSlots(rows [][]float64, out []float64) {
+	var wg sync.WaitGroup
+	wg.Add(len(rows))
+	for i := range rows {
+		go func(i int) {
+			defer wg.Done()
+			out[i] = sumClean(rows[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// stridedSlots: worker g owns every w-th row — the fillParallel shape.
+func stridedSlots(rows [][]float64, out []float64, w int) {
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(rows); i += w {
+				out[i] = sumClean(rows[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// channelFunnel: results travel through a channel; the send is the
+// synchronization.
+func channelFunnel(rows [][]float64) float64 {
+	res := make(chan float64, len(rows))
+	for i := range rows {
+		go func(i int) {
+			res <- sumClean(rows[i])
+		}(i)
+	}
+	total := 0.0
+	for range rows {
+		total += <-res
+	}
+	return total
+}
+
+// mutexGuarded: the accumulator write is under a lock.
+func mutexGuarded(rows [][]float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0.0
+	wg.Add(len(rows))
+	for i := range rows {
+		go func(i int) {
+			defer wg.Done()
+			s := sumClean(rows[i])
+			mu.Lock()
+			total += s
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// localOnly mutates goroutine-local state; captures are read-only.
+func localOnly(rows [][]float64, res chan float64) {
+	for i := range rows {
+		go func(i int) {
+			t := 0.0
+			for _, v := range rows[i] {
+				t += v
+			}
+			res <- t
+		}(i)
+	}
+}
+
+// suppressed documents a justified exemption: a single writer that the
+// spawner joins before reading.
+func suppressed(row []float64, out *float64, done chan struct{}) {
+	go func() {
+		//lint:ignore sharedwrite fixture: single goroutine, joined via done before any read
+		*out = sumClean(row)
+		close(done)
+	}()
+}
+
+func sumClean(row []float64) float64 {
+	t := 0.0
+	for _, v := range row {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+// Fixture: true positives for the waitpair analyzer. Lines marked
+// `want:waitpair` must each produce exactly one diagnostic.
+package fixture
+
+import "sync"
+
+// missingDone never releases the barrier: Wait hangs.
+func missingDone(rows [][]float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) { // want:waitpair
+			fill(rows[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// trailingDone releases the barrier only on the happy path: a panic in
+// fill leaks the WaitGroup.
+func trailingDone(rows [][]float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) { // want:waitpair
+			fill(rows[i])
+			wg.Done()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// conditionalDone skips Done on the early-return path.
+func conditionalDone(rows [][]float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) { // want:waitpair
+			if len(rows[i]) == 0 {
+				return
+			}
+			defer wg.Done()
+			fill(rows[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// addAfterSpawn races the barrier: Wait can observe a zero counter and
+// return before the goroutine runs.
+func addAfterSpawn(rows [][]float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		go func(i int) { // want:waitpair
+			defer wg.Done()
+			fill(rows[i])
+		}(i)
+		wg.Add(1)
+	}
+	wg.Wait()
+}
+
+func fill(row []float64) {
+	for j := range row {
+		row[j] = 0
+	}
+}

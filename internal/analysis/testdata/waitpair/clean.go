@@ -1,0 +1,65 @@
+// Fixture: clean cases for the waitpair analyzer — none of these lines
+// may produce a diagnostic.
+package fixture
+
+import "sync"
+
+// canonicalPair: Add before spawn, Done deferred first thing in the
+// body.
+func canonicalPair(rows [][]float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fillClean(rows[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// batchAdd reserves the whole pool before the spawn loop; the Add
+// dominates every go statement.
+func batchAdd(rows [][]float64, w int) {
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(rows); i += w {
+				fillClean(rows[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// pointerWaitGroup passes the group explicitly; the pairing still
+// resolves to the same variable.
+func pointerWaitGroup(rows [][]float64, wg *sync.WaitGroup) {
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fillClean(rows[i])
+		}(i)
+	}
+}
+
+// suppressed documents a justified exemption: a fire-and-forget
+// drainer coordinated by channel close, not a WaitGroup.
+func suppressed(events chan []float64, done chan struct{}) {
+	//lint:ignore waitpair fixture: drainer signals completion by closing done, pinned by its own test
+	go func() {
+		defer close(done)
+		for row := range events {
+			fillClean(row)
+		}
+	}()
+}
+
+func fillClean(row []float64) {
+	for j := range row {
+		row[j] = 0
+	}
+}

@@ -95,51 +95,76 @@ func (r *Registry) SweepParallel(ctx context.Context, name string, in *inst.Inst
 	// after the barrier so shared-registry sweeps stay deterministic.
 	priv := make([]*obs.Registry, len(ps))
 
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	// runCell is the per-cell body shared by the serial path and the
+	// worker pool, so both produce byte-identical results and obs.
+	runCell := func(i int, s *core.Scratch) {
+		p := ps[i]
+		p.Scratch = s
+		if p.Obs != nil {
+			priv[i] = obs.NewRegistry()
+			p.Obs = priv[i]
+		}
+		res, err := c.Build(ctx, in, p)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: sweep %s[%d]: %w", name, i, err)
+			stop()
+			return
+		}
+		out[i] = res
+		if reg := priv[i]; reg != nil {
+			sc := reg.Scope(ScopeName)
+			if sc != nil {
+				sc.Counter(CtrSweepRuns).Inc()
+				sc.Gauge(GaugeSweepWorkers).Set(float64(w))
+			}
+		}
+	}
+
+	if w == 1 {
+		// Serial fallback: one pooled scratch serves every cell in
+		// input order, exactly as a single pool worker would, without
+		// paying for the channel and the goroutine.
+		func() {
 			s := scratchPool.Get().(*core.Scratch)
 			defer func() {
 				s.Release()
 				scratchPool.Put(s)
 			}()
-			for i := range next {
-				p := ps[i]
-				p.Scratch = s
-				if p.Obs != nil {
-					priv[i] = obs.NewRegistry()
-					p.Obs = priv[i]
+			for i := range ps {
+				if ctx.Err() != nil {
+					break // unstarted cells stay unlaunched, as in the pool
 				}
-				res, err := c.Build(ctx, in, p)
-				if err != nil {
-					errs[i] = fmt.Errorf("engine: sweep %s[%d]: %w", name, i, err)
-					stop()
-					continue
-				}
-				out[i] = res
-				if reg := priv[i]; reg != nil {
-					sc := reg.Scope(ScopeName)
-					if sc != nil {
-						sc.Counter(CtrSweepRuns).Inc()
-						sc.Gauge(GaugeSweepWorkers).Set(float64(w))
-					}
-				}
+				runCell(i, s)
 			}
 		}()
-	}
-feed:
-	for i := range ps {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break feed
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := scratchPool.Get().(*core.Scratch)
+				defer func() {
+					s.Release()
+					scratchPool.Put(s)
+				}()
+				for i := range next {
+					runCell(i, s)
+				}
+			}()
 		}
+	feed:
+		for i := range ps {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
 	}
-	close(next)
-	wg.Wait()
 
 	// Deterministic error selection: the lowest-index real failure wins;
 	// cells whose error is just the cancellation ripple of another
@@ -170,6 +195,7 @@ feed:
 	// Fold per-cell registries into the callers' registries in input
 	// order — the merge order, not goroutine scheduling, decides gauge
 	// last-write-wins.
+	//lint:ignore ctxpoll post-barrier O(cells) registry fold; aborting it mid-merge would break the merge-order contract pinned by TestSweepParallelObsMergeDeterministic
 	for i, reg := range priv {
 		if reg != nil && ps[i].Obs != nil {
 			ps[i].Obs.Merge(reg)

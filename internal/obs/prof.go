@@ -23,11 +23,11 @@ func StartProfiles(cpuPath, tracePath string) (stop func() error, err error) {
 	cleanup := func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			_ = cpuFile.Close() // best-effort cleanup; the profile is already stopped
 		}
 		if traceFile != nil {
 			trace.Stop()
-			traceFile.Close()
+			_ = traceFile.Close() // best-effort cleanup; the trace is already stopped
 		}
 	}
 	if cpuPath != "" {
@@ -36,7 +36,7 @@ func StartProfiles(cpuPath, tracePath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("obs: cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close() // best-effort cleanup; the start error is what matters
 			return nil, fmt.Errorf("obs: cpu profile: %w", err)
 		}
 	}
@@ -47,7 +47,7 @@ func StartProfiles(cpuPath, tracePath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("obs: trace: %w", err)
 		}
 		if err := trace.Start(traceFile); err != nil {
-			traceFile.Close()
+			_ = traceFile.Close() // best-effort cleanup; the start error is what matters
 			traceFile = nil
 			cleanup()
 			return nil, fmt.Errorf("obs: trace: %w", err)

@@ -24,9 +24,16 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -diff old.json new.json [-fail-over 20]
+//
+// The -diff mode compares two committed reports benchmark by benchmark
+// (keyed by package + name) and prints per-benchmark ns/op deltas.
+// With -fail-over PCT it exits 1 when any benchmark regressed by more
+// than PCT percent; without it the diff is informational only.
 //
 // Exit status: 0 on success, 1 when the input contains no benchmark
-// lines or the output cannot be written, 2 on usage errors.
+// lines, the output cannot be written, or -fail-over tripped, 2 on
+// usage errors.
 package main
 
 import (
@@ -61,11 +68,38 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any ns/op regression exceeds this percent (0 = never fail)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
+		fmt.Fprintln(os.Stderr, "       benchjson -diff [-fail-over PCT] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		old, err := readReport(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		new_, err := readReport(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		lines, regressed := diffReports(old, new_, *failOver)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if *failOver > 0 && regressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%\n", regressed, *failOver)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader
 	switch flag.NArg() {
@@ -96,7 +130,9 @@ func main() {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
@@ -108,6 +144,60 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// readReport loads one committed benchjson document.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark across reports.
+func benchKey(b Benchmark) string { return b.Package + " " + b.Name }
+
+// diffReports compares old and new ns/op per benchmark, in new-report
+// order, then lists benchmarks only one side has. It returns the
+// rendered lines plus the count of regressions above failOver percent
+// (0 when failOver <= 0: purely informational).
+func diffReports(old, new_ *Report, failOver float64) (lines []string, regressed int) {
+	prev := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		prev[benchKey(b)] = b
+	}
+	seen := map[string]bool{}
+	for _, b := range new_.Benchmarks {
+		key := benchKey(b)
+		seen[key] = true
+		o, ok := prev[key]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-60s %14s %14.0f  (new)", b.Name, "-", b.NsPerOp))
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		mark := ""
+		if failOver > 0 && delta > failOver {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		lines = append(lines, fmt.Sprintf("%-60s %14.0f %14.0f  %+7.2f%%%s",
+			b.Name, o.NsPerOp, b.NsPerOp, delta, mark))
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[benchKey(b)] {
+			lines = append(lines, fmt.Sprintf("%-60s %14.0f %14s  (removed)", b.Name, b.NsPerOp, "-"))
+		}
+	}
+	return lines, regressed
 }
 
 // parse consumes a `go test -bench` transcript, possibly spanning

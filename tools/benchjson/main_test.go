@@ -78,3 +78,49 @@ func TestParseResultLineRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffReports(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", Package: "p", NsPerOp: 100},
+		{Name: "BenchmarkB-4", Package: "p", NsPerOp: 200},
+		{Name: "BenchmarkGone-4", Package: "p", NsPerOp: 50},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", Package: "p", NsPerOp: 150}, // +50%
+		{Name: "BenchmarkB-4", Package: "p", NsPerOp: 190}, // -5%
+		{Name: "BenchmarkNew-4", Package: "p", NsPerOp: 10},
+	}}
+
+	lines, regressed := diffReports(old, cur, 20)
+	if regressed != 1 {
+		t.Errorf("regressed = %d, want 1 (only the +50%% one)", regressed)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "REGRESSION") || !strings.Contains(lines[0], "+50.00%") {
+		t.Errorf("line 0 should mark the regression: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "REGRESSION") || !strings.Contains(lines[1], "-5.00%") {
+		t.Errorf("line 1 should be a clean improvement: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "(new)") {
+		t.Errorf("line 2 should flag the new benchmark: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "(removed)") {
+		t.Errorf("line 3 should flag the removed benchmark: %q", lines[3])
+	}
+
+	// Informational mode never counts regressions.
+	if _, n := diffReports(old, cur, 0); n != 0 {
+		t.Errorf("failOver=0 counted %d regressions, want 0", n)
+	}
+
+	// Same package+name keying: a matching name in another package is
+	// a different benchmark.
+	other := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA-4", Package: "q", NsPerOp: 1}}}
+	lines, _ = diffReports(old, other, 0)
+	if !strings.Contains(lines[0], "(new)") {
+		t.Errorf("cross-package match should not pair: %q", lines[0])
+	}
+}

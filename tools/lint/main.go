@@ -1,12 +1,14 @@
-// Command lint runs the repository's domain-invariant analyzers
-// (floatcmp, maporder, wallclock, obsgate — see internal/analysis)
-// over the packages matching the given patterns and prints one
-// file:line:col diagnostic per finding. It exits 0 on a clean tree, 1
-// when there are findings, and 2 on usage or load errors.
+// Command lint runs the repository's domain-invariant analyzers (see
+// internal/analysis: floatcmp, maporder, wallclock, obsgate, ctxpoll,
+// parallelgate, waitpair, sharedwrite, errdrop) over the packages
+// matching the given patterns and prints one file:line:col diagnostic
+// per finding. It exits 0 on a clean tree, 1 when there are findings,
+// and 2 on usage or load errors — a package that fails to list, parse
+// or type-check is reported by import path on stderr.
 //
 // Usage:
 //
-//	lint [-list] [packages]
+//	lint [-list] [-dir dir] [packages]
 //
 // With no patterns it lints ./... . Findings are suppressed per line
 // with `//lint:ignore <analyzer> <reason>`; see the "Code invariants"
@@ -15,43 +17,62 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lint [-list] [packages]")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, separated from main so the exit-code
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("dir", "", "directory to resolve package patterns in (default: current directory)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: lint [-list] [-dir dir] [packages]")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	pkgs, err := analysis.Load("", flag.Args()...)
+	pkgs, err := analysis.Load(*dir, fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		var le *analysis.LoadError
+		if errors.As(err, &le) {
+			fmt.Fprintf(stderr, "lint: cannot load package %s: %v\n", le.ImportPath, le.Err)
+		} else {
+			fmt.Fprintln(stderr, "lint:", err)
+		}
+		return 2
 	}
 	findings := 0
 	for _, pkg := range pkgs {
 		for _, d := range analysis.Run(pkg, analyzers) {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 			findings++
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", findings)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lint: %d finding(s)\n", findings)
+		return 1
 	}
+	return 0
 }

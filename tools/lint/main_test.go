@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadFailureExitsTwo is the regression test for the load-error
+// contract: a package that cannot be built must produce exit code 2
+// (not 0, not the findings code 1) and the failing package must be
+// named on stderr.
+func TestLoadFailureExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        "module scratch\n\ngo 1.22\n",
+		"broken/bad.go": "package broken\n\nfunc oops( {\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "scratch/broken") {
+		t.Errorf("stderr does not name the failing package:\n%s", errb.String())
+	}
+}
+
+// TestTypeErrorExitsTwo covers the other load-failure flavor: the
+// package parses but does not type-check.
+func TestTypeErrorExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       "module scratch\n\ngo 1.22\n",
+		"badty/bad.go": "package badty\n\nvar x int = \"not an int\"\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "scratch/badty") {
+		t.Errorf("stderr does not name the failing package:\n%s", errb.String())
+	}
+}
+
+// TestFindingsExitOne: a loadable package with a violation exits 1 and
+// prints the diagnostic.
+func TestFindingsExitOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"w/w.go": "package w\n\nfunc eq(a, b float64) bool { return a == b }\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "floatcmp") {
+		t.Errorf("stdout has no floatcmp diagnostic:\n%s", out.String())
+	}
+}
+
+// TestListNamesEveryAnalyzer: -list must print one line per registered
+// analyzer, so the help output cannot drift from the registry.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-list"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output does not mention %q:\n%s", a.Name, out.String())
+		}
+	}
+	if got, want := len(strings.Split(strings.TrimRight(out.String(), "\n"), "\n")), len(analysis.All()); got != want {
+		t.Errorf("-list prints %d lines, want %d (one per analyzer)", got, want)
+	}
+}
+
+// TestCleanExitZero: a clean module exits 0 with no output.
+func TestCleanExitZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"c/c.go": "package c\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected stdout:\n%s", out.String())
+	}
+}
