@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-smoke bench-diff quick experiments examples cover fuzz metrics-smoke clean
+.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-smoke bench-diff quick experiments examples cover fuzz metrics-smoke serve-smoke clean
 
 all: build vet lint test conformance
 
@@ -96,6 +96,14 @@ fuzz:
 metrics-smoke:
 	$(GO) run ./cmd/bmstree -algo bkrus -eps 0.2 -bench p3 -quiet -metrics /tmp/bmstree-metrics.json
 	$(GO) run ./tools/checkmetrics /tmp/bmstree-metrics.json
+
+# end-to-end check of the serving daemon: boot cmd/bmstreed, drive a
+# mixed-algorithm burst with tools/loadgen, validate /metrics with
+# tools/checkmetrics, then saturate a workers=1 queue=1 daemon and
+# require 429s with an exactly matching shed counter; both daemons must
+# drain cleanly on SIGTERM (SERVING.md documents the contract)
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -40,6 +40,40 @@
 //	if err != nil { ... }
 //	fmt.Println(tree.Cost(), tree.Radius(), net.Bound(0.2))
 //
-// See examples/ for runnable scenarios and cmd/experiments for the
-// harness that regenerates every table and figure of the paper.
+// # Beneath the facade
+//
+// This package is a thin re-export layer. The machinery underneath
+// (all stdlib-only, see README.md "Architecture" and DESIGN.md):
+//
+//   - internal/engine — the unified construction engine: every
+//     constructor above registered behind one Params surface, with
+//     context cancellation (polled at stride via internal/cancel,
+//     usable from any loop) and parameter sweeps that share one lazy
+//     sorted-edge stream, serially or on a worker pool with
+//     byte-identical results.
+//   - internal/serve and cmd/bmstreed — the tree-construction service
+//     daemon: batch HTTP/JSON builds over the same registry, with
+//     bounded-queue admission, per-request deadlines, an instance
+//     cache, /metrics and graceful drain. SERVING.md is the runbook.
+//   - internal/obs — observability: atomic counters/gauges/timers per
+//     construction layer, JSON snapshots behind the -metrics flag of
+//     every binary and the daemon's /metrics endpoint; free when off
+//     (one nil check). OBSERVABILITY.md catalogues every metric.
+//   - internal/analysis and tools/lint — nine stdlib-only static
+//     analyzers enforcing the domain invariants the compiler cannot
+//     see (float comparison discipline, map-order determinism,
+//     cancellation polling, goroutine gating/pairing/sharing, error
+//     handling); wired into make lint and CI.
+//
+// # Binaries
+//
+//   - cmd/bmstree — one algorithm on one instance (file, named
+//     benchmark, or random), with -metrics/-pprof/-trace.
+//   - cmd/experiments — regenerates every table and figure of the
+//     paper (see EXPERIMENTS.md for paper-vs-measured results).
+//   - cmd/globalroute — multi-net global routing with congestion
+//     reports and SVG heatmaps.
+//   - cmd/bmstreed — the serving daemon (SERVING.md).
+//
+// See examples/ for runnable scenarios.
 package bpmst

@@ -199,6 +199,14 @@ func TestAppliesTo(t *testing.T) {
 		{WaitPair, "repro/internal/obs", false},
 		{SharedWrite, "repro/internal/engine", true},
 		{SharedWrite, "repro/internal/core", false}, // serial by construction
+		// The serving layer promises the same concurrency discipline as
+		// the engine it fronts (but keeps wall-clock freedom: request
+		// timing is its job).
+		{CtxPoll, "repro/internal/serve", true},
+		{ParallelGate, "repro/internal/serve", true},
+		{WaitPair, "repro/internal/serve", true},
+		{SharedWrite, "repro/internal/serve", true},
+		{WallClock, "repro/internal/serve", false},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {

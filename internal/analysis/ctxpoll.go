@@ -26,6 +26,7 @@ var ctxPollPackages = []string{
 	"repro/internal/exact",
 	"repro/internal/delay",
 	"repro/internal/engine",
+	"repro/internal/serve",
 }
 
 // CtxPoll flags instance-sized loops in cancellable functions that

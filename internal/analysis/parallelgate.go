@@ -19,6 +19,7 @@ var parallelGatePackages = []string{
 	"repro/internal/geom",
 	"repro/internal/graph",
 	"repro/internal/engine",
+	"repro/internal/serve",
 }
 
 // ParallelGate requires every `go` statement to be dominated by a

@@ -19,6 +19,7 @@ var sharedWritePackages = []string{
 	"repro/internal/graph",
 	"repro/internal/engine",
 	"repro/internal/router",
+	"repro/internal/serve",
 }
 
 // SharedWrite flags writes from a goroutine body to variables captured

@@ -19,6 +19,7 @@ var waitPairPackages = []string{
 	"repro/internal/graph",
 	"repro/internal/engine",
 	"repro/internal/router",
+	"repro/internal/serve",
 }
 
 // WaitPair checks each `go` launch of a function literal:

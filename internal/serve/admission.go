@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull is the admission gate's shed signal; the handler maps it
+// to 429 with a Retry-After header.
+var errQueueFull = errors.New("serve: build queue is full")
+
+// gate is the bounded worker-pool admission layer: at most `workers`
+// requests build concurrently (each admitted request executes on its
+// own net/http handler goroutine, so a slot is a permit, not a spawned
+// worker), and at most `depth` more may wait for a slot. A request that
+// finds both the slots and the queue full is shed immediately — the
+// load-shedding contract that keeps latency bounded when the daemon is
+// saturated.
+type gate struct {
+	sem    chan struct{} // capacity = workers; a held token is a build permit
+	depth  int64         // max waiters beyond the active slots
+	queued atomic.Int64  // current waiters (approximate under contention, never above depth)
+}
+
+// newGate returns a gate admitting `workers` concurrent builds with a
+// waiting queue of `depth` requests.
+func newGate(workers, depth int) *gate {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &gate{sem: make(chan struct{}, workers), depth: int64(depth)}
+}
+
+// acquire obtains a build permit, waiting in the bounded queue when all
+// slots are busy. It returns errQueueFull when the queue is at depth,
+// and ctx.Err() when the request deadline (or the client connection)
+// expires while queued. The returned release function must be called
+// exactly once after the build.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot admits immediately without touching the
+	// queue accounting, so an idle daemon never sheds.
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	if g.queued.Add(1) > g.depth {
+		g.queued.Add(-1)
+		return nil, errQueueFull
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// waiting returns the number of requests currently queued for a slot.
+func (g *gate) waiting() int64 { return g.queued.Load() }
+
+// active returns the number of build permits currently held.
+func (g *gate) active() int { return len(g.sem) }
+
+// workers returns the slot capacity.
+func (g *gate) workers() int { return cap(g.sem) }
+
+// queueLimit returns the configured queue depth.
+func (g *gate) queueLimit() int64 { return g.depth }

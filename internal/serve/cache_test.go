@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func pts(xy ...float64) []geom.Point {
+	out := make([]geom.Point, len(xy)/2)
+	for i := range out {
+		out[i] = geom.Point{X: xy[2*i], Y: xy[2*i+1]}
+	}
+	return out
+}
+
+func TestCacheHitAndEviction(t *testing.T) {
+	c := newInstCache(2)
+	src := geom.Point{}
+	a := pts(1, 1, 2, 2)
+	b := pts(3, 3, 4, 4)
+	d := pts(5, 5, 6, 6)
+
+	e1, hit, err := c.lookup(geom.Manhattan, src, a)
+	if err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v", hit, err)
+	}
+	e2, hit, _ := c.lookup(geom.Manhattan, src, a)
+	if !hit || e2 != e1 {
+		t.Fatalf("second lookup must re-serve the same entry (hit=%v)", hit)
+	}
+
+	if _, _, err := c.lookup(geom.Manhattan, src, b); err != nil {
+		t.Fatal(err)
+	}
+	// a is most recent (just re-looked-up)… touch it again, then insert a
+	// third set: b must be the eviction victim.
+	if _, hit, _ := c.lookup(geom.Manhattan, src, a); !hit {
+		t.Fatal("a fell out of a non-full cache")
+	}
+	if _, _, err := c.lookup(geom.Manhattan, src, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	// Check a first: a miss on b would re-insert it and evict a.
+	if _, hit, _ := c.lookup(geom.Manhattan, src, a); !hit {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, hit, _ := c.lookup(geom.Manhattan, src, b); hit {
+		t.Error("b survived eviction as the least recently used entry")
+	}
+}
+
+func TestCacheMetricSeparatesEntries(t *testing.T) {
+	c := newInstCache(4)
+	src := geom.Point{}
+	sinks := pts(1, 2, 3, 4)
+	e1, _, _ := c.lookup(geom.Manhattan, src, sinks)
+	e2, hit, _ := c.lookup(geom.Euclidean, src, sinks)
+	if hit || e1 == e2 {
+		t.Error("same points under different metrics must be distinct entries")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newInstCache(0)
+	src := geom.Point{}
+	sinks := pts(1, 1)
+	e1, hit, err := c.lookup(geom.Manhattan, src, sinks)
+	if err != nil || hit || e1 == nil || e1.in == nil {
+		t.Fatalf("disabled cache must still hand out a private entry: %v %v %v", e1, hit, err)
+	}
+	if _, hit, _ := c.lookup(geom.Manhattan, src, sinks); hit {
+		t.Error("disabled cache retained an entry")
+	}
+	if c.len() != 0 {
+		t.Errorf("len = %d, want 0", c.len())
+	}
+}
+
+func TestCacheBitExactKey(t *testing.T) {
+	c := newInstCache(4)
+	src := geom.Point{}
+	_, _, err := c.lookup(geom.Manhattan, src, pts(1, math.Copysign(0, -1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +0 and -0 compare equal as floats but are different request bytes:
+	// the cache must treat them as distinct keys.
+	if _, hit, _ := c.lookup(geom.Manhattan, src, pts(1, 0)); hit {
+		t.Error("cache conflated -0 and +0 sink coordinates")
+	}
+}
+
+func TestCacheRejectsBadNet(t *testing.T) {
+	c := newInstCache(4)
+	// Non-finite coordinate: inst.New must reject it and the cache must
+	// stay empty.
+	if _, _, err := c.lookup(geom.Manhattan, geom.Point{X: 1, Y: 1}, pts(math.NaN(), 2)); err == nil {
+		t.Fatal("NaN coordinate accepted")
+	}
+	if c.len() != 0 {
+		t.Errorf("failed lookup left %d entries resident", c.len())
+	}
+}
+
+func TestGateAdmissionOrder(t *testing.T) {
+	g := newGate(1, 1)
+	rel, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.active() != 1 || g.workers() != 1 || g.queueLimit() != 1 {
+		t.Fatalf("gate state after acquire: active=%d workers=%d depth=%d", g.active(), g.workers(), g.queueLimit())
+	}
+
+	type res struct {
+		rel func()
+		err error
+	}
+	second := make(chan res, 1)
+	go func() {
+		r, err := g.acquire(context.Background())
+		second <- res{r, err}
+	}()
+	for i := 0; g.waiting() != 1; i++ {
+		if i > 500 {
+			t.Fatal("second acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := g.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("third acquire: err = %v, want errQueueFull", err)
+	}
+
+	rel()
+	got := <-second
+	if got.err != nil {
+		t.Fatalf("queued acquire failed: %v", got.err)
+	}
+	got.rel()
+	if g.active() != 0 || g.waiting() != 0 {
+		t.Errorf("gate not drained: active=%d waiting=%d", g.active(), g.waiting())
+	}
+}
+
+func TestGateQueuedCancel(t *testing.T) {
+	g := newGate(1, 4)
+	rel, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := g.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire under dead ctx: err = %v", err)
+	}
+	if g.waiting() != 0 {
+		t.Errorf("canceled waiter still counted: %d", g.waiting())
+	}
+}
