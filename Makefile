@@ -12,11 +12,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# the nine domain-invariant analyzers (floatcmp, maporder, wallclock,
-# obsgate, ctxpoll, parallelgate, waitpair, sharedwrite, errdrop); see
-# internal/analysis and the "Code invariants" section of README.md
+# the thirteen domain-invariant analyzers (floatcmp, maporder,
+# wallclock, obsgate, ctxpoll, parallelgate, waitpair, sharedwrite,
+# errdrop, detflow, ctxflow, allocloop, lockorder); see
+# internal/analysis and the "Code invariants" section of README.md.
+# The interprocedural analyzers load the whole module at once, so the
+# run carries a wall-clock budget (seconds) to catch fixed-point
+# blowups before they rot CI; override with LINT_BUDGET=0 to disable.
+LINT_BUDGET ?= 120
 lint:
-	$(GO) run ./tools/lint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./tools/lint ./... || exit $$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	if [ "$(LINT_BUDGET)" -gt 0 ] && [ $$elapsed -gt "$(LINT_BUDGET)" ]; then \
+		echo "lint: took $${elapsed}s, over the $(LINT_BUDGET)s budget" >&2; exit 1; \
+	fi; \
+	echo "lint: clean in $${elapsed}s (budget $(LINT_BUDGET)s)"
 
 test:
 	$(GO) test ./...

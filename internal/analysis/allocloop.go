@@ -1,0 +1,306 @@
+package analysis
+
+// allocloop guards the hot construction paths against per-iteration
+// heap allocation. A make/new inside an instance-sized loop turns an
+// O(E) edge scan into O(E) garbage — the engine's scratch-buffer design
+// (core.Scratch, grow-guarded attach) exists precisely so repeated
+// builds on the same instance size reuse memory. The local shape is
+// easy to spot; the expensive one hides behind a call: the loop body
+// invokes a helper that allocates on every call. allocloop computes a
+// per-function allocation summary by fixed point and reports both the
+// direct allocation and the allocating call, with the chain down to the
+// make/new in the message.
+//
+// Exemptions, matching the approved idioms:
+//
+//   - grow-guarded allocation: a make/new inside an if whose condition
+//     inspects len/cap/nil of the destination only runs when the
+//     scratch buffer is too small, i.e. O(log growth) times, not per
+//     iteration (the core.Scratch.attach shape);
+//   - append: growth is amortized by the runtime and the parallelgate
+//     /maporder analyzers own append discipline;
+//   - composite literals: small fixed-size values the compiler usually
+//     keeps on the stack; flagging them drowns the signal.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// allocLoopPackages are the hot construction packages where the
+// per-iteration allocation budget is zero.
+var allocLoopPackages = []string{
+	"repro/internal/core",
+	"repro/internal/mst",
+	"repro/internal/steiner",
+	"repro/internal/engine",
+}
+
+// AllocLoop reports heap allocations (make/new) reachable inside
+// instance-sized loops of the hot packages, directly or through module
+// calls.
+var AllocLoop = &Analyzer{
+	Name: "allocloop",
+	Doc:  "instance-sized loops in hot packages must not allocate per iteration; use pooled scratch buffers",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, allocLoopPackages...)
+	},
+	Run: runAllocLoop,
+}
+
+// allocSummary records where a function allocates unconditionally on
+// the ordinary path (outside loops of its own — a callee's loop-bound
+// allocation is that callee's finding, not the caller's).
+type allocSummary struct {
+	sites []allocSite
+}
+
+// allocSite is one allocation a call to the function performs, with the
+// chain of callees leading to it ("" for a direct make/new).
+type allocSite struct {
+	pos   token.Pos // position in the summarized function (alloc or call)
+	what  string    // "make", "new", or the callee chain "f -> g: make"
+	depth int       // chain length, to cap message growth
+}
+
+func runAllocLoop(p *Pass) {
+	m := p.module()
+	sums := m.allocSummaries()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := m.byObj[p.Info.Defs[fd.Name]]
+			if fn == nil {
+				continue
+			}
+			checkLoopAllocs(p, m, fn, sums)
+		}
+	}
+}
+
+// checkLoopAllocs walks fn's instance-sized loops and reports direct
+// allocations and calls to allocating module functions in their bodies.
+func checkLoopAllocs(p *Pass, m *Module, fn *modFunc, sums map[*modFunc]*allocSummary) {
+	reported := map[token.Pos]bool{}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			return true
+		}
+		if !instanceSized(p, n) {
+			return true
+		}
+		body := loopBody(n)
+		if body == nil {
+			return true
+		}
+		ast.Inspect(body, func(bn ast.Node) bool {
+			if _, ok := bn.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := bn.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if reported[call.Pos()] {
+				return true
+			}
+			if kind := allocKind(p, call); kind != "" {
+				if growGuardedIn(body, call) {
+					return true
+				}
+				reported[call.Pos()] = true
+				p.Reportf(call.Pos(),
+					"%s inside instance-sized loop allocates every iteration; hoist into a scratch buffer", kind)
+				return true
+			}
+			callee := m.resolve(fn.pkg, call)
+			if callee == nil || callee == fn {
+				return true
+			}
+			if s := sums[callee]; s != nil && len(s.sites) > 0 {
+				reported[call.Pos()] = true
+				p.Reportf(call.Pos(),
+					"call to %s inside instance-sized loop allocates every iteration (%s); hoist the buffer or pass scratch",
+					callee.decl.Name.Name, s.sites[0].what)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// allocSummaries computes which module functions allocate on every
+// call, by fixed point over the call graph.
+func (m *Module) allocSummaries() map[*modFunc]*allocSummary {
+	if m.alloc != nil {
+		return m.alloc
+	}
+	m.alloc = map[*modFunc]*allocSummary{}
+	for _, fn := range m.order {
+		m.alloc[fn] = &allocSummary{sites: directAllocs(fn)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range m.order {
+			s := m.alloc[fn]
+			p := fn.pass()
+			forEachTopLevelCall(fn, func(call *ast.CallExpr) {
+				callee := m.resolve(fn.pkg, call)
+				if callee == nil || callee == fn {
+					return
+				}
+				cs := m.alloc[callee]
+				if cs == nil || len(cs.sites) == 0 {
+					return
+				}
+				if hasSite(s, call.Pos()) {
+					return
+				}
+				first := cs.sites[0]
+				if first.depth >= 4 {
+					return // cap chain growth; the root finding is enough
+				}
+				s.sites = append(s.sites, allocSite{
+					pos:   call.Pos(),
+					what:  callee.decl.Name.Name + " -> " + first.what,
+					depth: first.depth + 1,
+				})
+				changed = true
+				_ = p
+			})
+		}
+	}
+	return m.alloc
+}
+
+func hasSite(s *allocSummary, pos token.Pos) bool {
+	for _, site := range s.sites {
+		if site.pos == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// directAllocs finds unconditional-looking make/new calls in fn outside
+// its own loops and outside grow guards. Allocations under fn's own
+// loops are fn's local problem (checkLoopAllocs sees them when fn's
+// package is checked); the summary answers "does calling fn once
+// allocate".
+func directAllocs(fn *modFunc) []allocSite {
+	p := fn.pass()
+	var sites []allocSite
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind := allocKind(p, call); kind != "" && !growGuardedIn(fn.decl.Body, call) {
+			sites = append(sites, allocSite{pos: call.Pos(), what: kind})
+		}
+		return true
+	})
+	return sites
+}
+
+// forEachTopLevelCall visits calls in fn outside loops and funclits —
+// the calls a single invocation of fn always (modulo branches) makes.
+func forEachTopLevelCall(fn *modFunc, visit func(*ast.CallExpr)) {
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// allocKind classifies a call as a heap allocation: "make(...)" or
+// "new(...)". Conversions and ordinary calls return "".
+func allocKind(p *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || obj.Pkg() != nil { // builtins have nil Pkg
+		return ""
+	}
+	switch id.Name {
+	case "make":
+		return "make"
+	case "new":
+		return "new"
+	}
+	return ""
+}
+
+// growGuarded reports whether the allocation sits under an if whose
+// condition inspects len, cap, or nil — the scratch-grow idiom:
+//
+//	if cap(s.buf) < n { s.buf = make([]T, n) }
+//
+// Such an allocation runs O(log n) times across a run, not per
+// iteration. ast nodes carry no parent links, so the walk descends from
+// root and tracks the innermost enclosing if condition.
+func growGuardedIn(root ast.Node, call *ast.CallExpr) bool {
+	guarded := false
+	var visit func(n ast.Node, underGuard bool)
+	visit = func(n ast.Node, underGuard bool) {
+		ast.Inspect(n, func(mn ast.Node) bool {
+			if guarded || mn == nil {
+				return false
+			}
+			if mn == ast.Node(call) {
+				guarded = underGuard
+				return false
+			}
+			if ifs, ok := mn.(*ast.IfStmt); ok && mn != n {
+				g := underGuard || condChecksCapacity(ifs.Cond)
+				if ifs.Init != nil {
+					visit(ifs.Init, underGuard)
+				}
+				visit(ifs.Cond, underGuard)
+				visit(ifs.Body, g)
+				if ifs.Else != nil {
+					visit(ifs.Else, g)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	visit(root, false)
+	return guarded
+}
+
+// condChecksCapacity reports whether the expression mentions len, cap,
+// or a nil comparison — the shapes a grow guard takes.
+func condChecksCapacity(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if x.Name == "len" || x.Name == "cap" || x.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

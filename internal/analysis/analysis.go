@@ -1,6 +1,6 @@
 // Package analysis is a small stdlib-only static-analysis framework
-// plus the four domain analyzers that machine-check this repository's
-// code invariants:
+// plus the thirteen domain analyzers that machine-check this
+// repository's code invariants. The function-local analyzers:
 //
 //   - floatcmp: geometric weights are float64 and must never be
 //     compared exactly outside the approved epsilon helpers in
@@ -17,6 +17,27 @@
 //     behind a nil-scope gate (or inside a counter-set method whose
 //     call sites are gated), preserving the "observation off by
 //     default costs one pointer test" contract.
+//   - ctxpoll: cancellable functions must poll their context or
+//     cancel.Checker inside every instance-sized work loop.
+//   - parallelgate, waitpair, sharedwrite: the goroutine invariants —
+//     gated worker spawns, paired Add/Done, no unsynchronized writes
+//     to captured shared state.
+//   - errdrop: construction errors must not be silently discarded.
+//
+// The interprocedural analyzers (built on the module-wide call graph
+// and per-function summaries of summary.go, the def-use chains of
+// dataflow.go, and the taint engine of taint.go):
+//
+//   - detflow: nondeterminism taint (map order, select winners,
+//     clocks, random values, formatted pointers) must not reach an
+//     exported return or an output write without a sort.
+//   - ctxflow: cancellable entrypoints must thread ctx/cancel.Checker
+//     down to every instance-sized loop they can reach, across calls.
+//   - allocloop: instance-sized loops in the hot construction
+//     packages must not allocate per iteration, directly or through
+//     callees; scratch buffers with grow guards are the approved way.
+//   - lockorder: the module-wide lock-acquisition-order graph over
+//     named mutex classes must be acyclic.
 //
 // The framework loads packages with `go list` (syntax via go/parser,
 // types via go/types and the toolchain's export data), runs each
@@ -234,6 +255,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp, MapOrder, WallClock, ObsGate,
 		CtxPoll, ParallelGate, WaitPair, SharedWrite, ErrDrop,
+		DetFlow, CtxFlow, AllocLoop, LockOrder,
 	}
 }
 

@@ -169,6 +169,28 @@ func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, ErrDrop, filepath.Join("testdata", "errdrop"), "repro/internal/fixture")
 }
 
+func TestDetFlowFixture(t *testing.T) {
+	// The fake import path makes the fixture count as a deterministic
+	// construction package.
+	checkFixture(t, DetFlow, filepath.Join("testdata", "detflow"), "repro/internal/core")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, CtxFlow, filepath.Join("testdata", "ctxflow"), "repro/internal/core")
+}
+
+func TestAllocLoopFixture(t *testing.T) {
+	// The fake import path makes the fixture count as a hot package
+	// with a zero per-iteration allocation budget.
+	checkFixture(t, AllocLoop, filepath.Join("testdata", "allocloop"), "repro/internal/core")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	// The fake import path makes the fixture count as the serving
+	// layer, whose two mutex classes motivated the analyzer.
+	checkFixture(t, LockOrder, filepath.Join("testdata", "lockorder"), "repro/internal/serve")
+}
+
 // TestAppliesTo pins the per-analyzer package allowlists.
 func TestAppliesTo(t *testing.T) {
 	cases := []struct {
@@ -207,6 +229,24 @@ func TestAppliesTo(t *testing.T) {
 		{WaitPair, "repro/internal/serve", true},
 		{SharedWrite, "repro/internal/serve", true},
 		{WallClock, "repro/internal/serve", false},
+		// Interprocedural analyzers. detflow covers every package with
+		// a byte-determinism contract on its outputs, including the
+		// serving layer and the seeded load generator.
+		{DetFlow, "repro/internal/core", true},
+		{DetFlow, "repro/internal/serve", true},
+		{DetFlow, "repro/internal/obs", true}, // snapshot ordering, not clocks
+		{DetFlow, "repro/tools/loadgen", true},
+		{DetFlow, "repro/internal/experiments", false}, // times and prints freely
+		{CtxFlow, "repro/internal/core", true},
+		{CtxFlow, "repro/internal/serve", true},
+		{CtxFlow, "repro/internal/geom", false}, // matrix fill takes no ctx by design
+		{AllocLoop, "repro/internal/core", true},
+		{AllocLoop, "repro/internal/steiner", true},
+		{AllocLoop, "repro/internal/engine", true},
+		{AllocLoop, "repro/internal/serve", false}, // request path allocates per request by design
+		{LockOrder, "repro/internal/serve", true},
+		{LockOrder, "repro/internal/obs", true},
+		{LockOrder, "repro/internal/mst", false}, // lock-free by construction
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {

@@ -1,0 +1,256 @@
+package analysis
+
+// ctxflow generalizes ctxpoll across call boundaries: a cancellable
+// function must thread its context (or cancel.Checker) down to every
+// instance-sized loop it can reach in the module, not just its own. The
+// local analyzer cannot see a ctx dropped at a call site — f(ctx)
+// calling g() calling h() whose O(n²) scan never polls — because g and
+// h individually have no context and therefore no local obligation.
+// ctxflow computes a module-wide "hungry" summary by fixed point:
+//
+//	hungry(f) = f has an instance-sized work loop that reaches no
+//	            poll (directly or through module callees), or
+//	            f calls a hungry module function without forwarding
+//	            a ctx/Checker, outside any polled loop of f
+//
+// and reports the call site where a cancellable function drops its
+// context into a hungry callee. A call inside a loop that itself polls
+// is exempt: the per-iteration poll bounds the cancellation gap to one
+// callee invocation, which is exactly the stride-poll design the
+// construction engine uses (poll once per edge, keep the subroutines
+// context-free).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow reports context-dropping call sites in cancellable functions
+// of the construction packages (the ctxpoll allowlist).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "cancellable entrypoints must thread ctx/cancel.Checker to every instance-sized loop they reach, across calls",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, ctxPollPackages...)
+	},
+	Run: runCtxFlow,
+}
+
+// hungrySummary is the module-level cancellation fact about a function.
+type hungrySummary struct {
+	hungry bool
+	why    string // reason chain for diagnostics
+	polls  bool   // body contains a poll call (directly or via module callees)
+}
+
+func runCtxFlow(p *Pass) {
+	m := p.module()
+	sums := m.hungrySummaries()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := m.byObj[p.Info.Defs[fd.Name]]
+			if fn == nil || !handlesCancellation(p, fd.Body) {
+				continue
+			}
+			forEachCall(fn, func(call *ast.CallExpr) {
+				callee := m.resolve(p.pkg, call)
+				if callee == nil {
+					return
+				}
+				s := sums[callee]
+				if s == nil || !s.hungry || callPassesCancel(p, call) {
+					return
+				}
+				if m.inPolledLoop(fn, call.Pos()) {
+					return
+				}
+				p.Reportf(call.Pos(),
+					"context dropped at call to %s: %s; thread ctx or a cancel.Checker through this call",
+					callee.decl.Name.Name, s.why)
+			})
+		}
+	}
+}
+
+// hungrySummaries computes the module's cancellation-reachability
+// summaries by monotone fixed point.
+func (m *Module) hungrySummaries() map[*modFunc]*hungrySummary {
+	if m.hungry != nil {
+		return m.hungry
+	}
+	m.hungry = map[*modFunc]*hungrySummary{}
+	for _, fn := range m.order {
+		m.hungry[fn] = &hungrySummary{polls: bodyPollsDirect(fn)}
+	}
+	// polls propagates through module calls first (a function whose
+	// callee polls counts as reaching a poll)...
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range m.order {
+			s := m.hungry[fn]
+			if s.polls {
+				continue
+			}
+			p := fn.pass()
+			forEachCall(fn, func(call *ast.CallExpr) {
+				if s.polls {
+					return
+				}
+				if callee := m.resolve(fn.pkg, call); callee != nil && m.hungry[callee].polls {
+					s.polls = true
+					changed = true
+				}
+				_ = p
+			})
+		}
+	}
+	// ...then hungriness propagates up through ctx-less calls.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range m.order {
+			s := m.hungry[fn]
+			if s.hungry {
+				continue
+			}
+			if pos, ok := m.localHungryLoop(fn); ok {
+				s.hungry = true
+				s.why = "instance-sized loop without a cancellation path at " + positionString(fn, pos)
+				changed = true
+				continue
+			}
+			p := fn.pass()
+			forEachCall(fn, func(call *ast.CallExpr) {
+				if s.hungry {
+					return
+				}
+				callee := m.resolve(fn.pkg, call)
+				if callee == nil {
+					return
+				}
+				cs := m.hungry[callee]
+				if cs.hungry && !callPassesCancel(p, call) && !m.inPolledLoop(fn, call.Pos()) {
+					s.hungry = true
+					s.why = "calls " + callee.decl.Name.Name + " (" + positionString(fn, call.Pos()) + "): " + cs.why
+					changed = true
+				}
+			})
+		}
+	}
+	return m.hungry
+}
+
+func positionString(fn *modFunc, pos token.Pos) string {
+	pp := fn.pkg.Fset.Position(pos)
+	return pp.Filename + ":" + itoa(pp.Line)
+}
+
+// bodyPollsDirect reports whether the function body contains a poll
+// call (cancel.Checker Tick/Err, ctx.Done/Err, or a ctx-forwarding
+// call) outside nested function literals.
+func bodyPollsDirect(fn *modFunc) bool {
+	p := fn.pass()
+	found := false
+	forEachCall(fn, func(call *ast.CallExpr) {
+		if !found && isPollCall(p, call) {
+			found = true
+		}
+	})
+	return found
+}
+
+// localHungryLoop finds an instance-sized work loop in fn whose body —
+// including module callees, and including any enclosing loop of fn —
+// never reaches a poll. Returns the loop position.
+func (m *Module) localHungryLoop(fn *modFunc) (token.Pos, bool) {
+	p := fn.pass()
+	var foundPos token.Pos
+	found := false
+	var visit func(n ast.Node, enclosingPolled bool)
+	visit = func(n ast.Node, enclosingPolled bool) {
+		ast.Inspect(n, func(mn ast.Node) bool {
+			if found || mn == n {
+				return !found
+			}
+			switch mn.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt:
+				polled := enclosingPolled || m.loopReachesPoll(fn, mn)
+				if !polled && instanceSized(p, mn) && loopDoesWork(p, mn) {
+					foundPos, found = mn.Pos(), true
+					return false
+				}
+				visit(loopBody(mn), polled)
+				return false
+			}
+			return true
+		})
+	}
+	visit(fn.decl.Body, false)
+	return foundPos, found
+}
+
+// loopReachesPoll reports whether the loop body reaches a poll call,
+// looking through module callees that do not take a context themselves
+// (their bodies may still hold the poll — e.g. a helper hiding the
+// Checker behind a struct field).
+func (m *Module) loopReachesPoll(fn *modFunc, loop ast.Node) bool {
+	p := fn.pass()
+	body := loopBody(loop)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPollCall(p, call) {
+			found = true
+			return false
+		}
+		if callee := m.resolve(fn.pkg, call); callee != nil && m.hungry[callee] != nil && m.hungry[callee].polls {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// inPolledLoop reports whether pos sits inside a loop of fn whose body
+// reaches a poll.
+func (m *Module) inPolledLoop(fn *modFunc, pos token.Pos) bool {
+	polled := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(mn ast.Node) bool {
+			if polled {
+				return false
+			}
+			switch mn.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt:
+				if mn.Pos() <= pos && pos < mn.End() && m.loopReachesPoll(fn, mn) {
+					polled = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.decl.Body)
+	return polled
+}

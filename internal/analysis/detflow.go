@@ -1,0 +1,174 @@
+package analysis
+
+// detflow enforces the determinism contract interprocedurally: a value
+// whose bytes or element order can differ between two runs on the same
+// input (map iteration order, select winners, wall-clock reads, random
+// values, formatted pointers) must not reach a construction return
+// value, a response/output writer, or an obs snapshot without passing
+// through an ordering sink (sort.*, slices.*) first. The function-local
+// maporder analyzer catches the direct append-under-map-range shape;
+// detflow follows the value through def-use chains and across call
+// boundaries via the module taint summaries, so a map-ordered slice
+// built three helpers down still lights up at the exported return that
+// leaks it.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detFlowPackages are the packages with a byte-determinism contract on
+// their outputs: the construction layers, the dispatch engine, the
+// serving layer, the obs snapshot producer, and the deterministic load
+// generator.
+var detFlowPackages = []string{
+	"repro",
+	"repro/internal/core",
+	"repro/internal/mst",
+	"repro/internal/steiner",
+	"repro/internal/baseline",
+	"repro/internal/exchange",
+	"repro/internal/exact",
+	"repro/internal/delay",
+	"repro/internal/engine",
+	"repro/internal/graph",
+	"repro/internal/serve",
+	"repro/internal/obs",
+	"repro/tools/loadgen",
+}
+
+// DetFlow reports nondeterminism-tainted values reaching an
+// order-sensitive sink. Sinks are:
+//
+//   - any return value of an exported function or method (the
+//     package's determinism contract applies to its API surface);
+//   - output writes: fmt print family, Write/WriteString/WriteByte/
+//     WriteRune methods, and (*json.Encoder).Encode / json.Marshal;
+//   - http.ResponseWriter writes in the serving layer (covered by the
+//     Write rule — the writer's static type does not matter).
+//
+// A sort.* or slices.* call over the value re-establishes determinism
+// (the def-use engine models it as a clean redefinition), so the
+// approved append-then-sort idiom passes, including when the append
+// and the sort live in different branches.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc:  "nondeterministic values (map order, select winners, clocks, pointers) must not reach returns or output unsorted",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, detFlowPackages...)
+	},
+	Run: runDetFlow,
+}
+
+func runDetFlow(p *Pass) {
+	m := p.module()
+	m.taintSummaries() // ensure summaries exist before local evaluation
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := m.byObj[p.Info.Defs[fd.Name]]
+			if fn == nil {
+				continue
+			}
+			tc := newTaintCtx(p, m, fn.defUse(), fd.Body, false)
+			if ast.IsExported(fd.Name.Name) {
+				for _, tr := range tc.returnTaints(fn) {
+					pos := tr.ret.Pos()
+					if tr.expr != nil {
+						pos = tr.expr.Pos()
+					}
+					p.Reportf(pos,
+						"nondeterministic value reaches exported return: %s; order it with sort.* before returning",
+						tr.info.why)
+				}
+			}
+			reportSinkCalls(p, tc, fd)
+		}
+	}
+}
+
+// reportSinkCalls flags output-writing calls whose payload is tainted.
+func reportSinkCalls(p *Pass, tc *taintCtx, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink, payload := outputSink(p, call)
+		if sink == "" {
+			return true
+		}
+		for _, arg := range payload {
+			if info := tc.taintExpr(arg, call.Pos()); info.tainted {
+				p.Reportf(call.Pos(),
+					"nondeterministic value reaches output via %s: %s; sort it first", sink, info.why)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// outputSink classifies a call as an output sink and returns the
+// payload arguments to check. fmt.Fprint* skips the writer argument.
+func outputSink(p *Pass, call *ast.CallExpr) (string, []ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return "", nil
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt":
+			switch {
+			case strings.HasPrefix(name, "Fprint"):
+				if len(call.Args) > 0 {
+					return "fmt." + name, call.Args[1:]
+				}
+			case strings.HasPrefix(name, "Print"):
+				return "fmt." + name, call.Args
+			}
+			return "", nil
+		case "encoding/json":
+			if name == "Marshal" || name == "MarshalIndent" {
+				return "json." + name, call.Args
+			}
+			return "", nil
+		}
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return name, call.Args
+		case "Encode":
+			if recvPkgPath(sig) == "encoding/json" {
+				return "json.Encoder.Encode", call.Args
+			}
+		}
+	}
+	return "", nil
+}
+
+// recvPkgPath returns the package path of a method's receiver type.
+func recvPkgPath(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}

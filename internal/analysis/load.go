@@ -26,7 +26,8 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 
-	cg *callGraph // lazily built package-local call graph
+	cg  *callGraph // lazily built package-local call graph
+	mod *Module    // module this package was loaded into, when LoadModule was used
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -78,19 +79,34 @@ func goList(dir string, args ...string) ([]listEntry, error) {
 }
 
 // exportLookup builds an export-data lookup covering the patterns and
-// all of their dependencies, for use with the gc importer.
+// all of their dependencies, for use with the gc importer. A dependency
+// that fails to build or comes back without export data is a hard,
+// typed error naming the package: silently dropping it would shrink the
+// interprocedural call graph — calls into the missing package would
+// stop resolving and the module-wide analyzers (ctxflow, allocloop,
+// lockorder, detflow summaries) would go quietly blind there.
 func exportLookup(dir string, patterns []string) (func(path string) (io.ReadCloser, error), error) {
 	args := append([]string{"list", "-e", "-deps", "-export",
-		"-json=ImportPath,Export"}, patterns...)
+		"-json=ImportPath,Export,Error"}, patterns...)
 	entries, err := goList(dir, args...)
 	if err != nil {
 		return nil, err
 	}
 	exports := map[string]string{}
 	for _, e := range entries {
-		if e.Export != "" {
-			exports[e.ImportPath] = e.Export
+		if e.ImportPath == "unsafe" {
+			continue // compiler intrinsic: never has export data
 		}
+		if e.Error != nil {
+			return nil, &LoadError{ImportPath: e.ImportPath, Err: fmt.Errorf("%s", e.Error.Err)}
+		}
+		if e.Export == "" {
+			return nil, &LoadError{
+				ImportPath: e.ImportPath,
+				Err:        fmt.Errorf("missing export data (partial module load would silently shrink the interprocedural call graph)"),
+			}
+		}
+		exports[e.ImportPath] = e.Export
 	}
 	return func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
@@ -162,6 +178,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// LoadModule loads the packages matching the patterns as one module:
+// the packages share a file set and are indexed into a module-wide call
+// graph, so the interprocedural analyzers resolve calls across package
+// boundaries to source-checked declarations instead of stopping at
+// export data. Partial loads are refused with a typed *LoadError naming
+// the broken package.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return newModule(pkgs), nil
 }
 
 // typeCheck runs go/types over one package's parsed files.

@@ -1,0 +1,421 @@
+package analysis
+
+// lockorder builds a module-wide lock-acquisition-order graph and
+// reports cycles. The serving layer holds two mutex classes — the
+// instance cache's LRU mutex and the per-entry build mutexes — and the
+// deadlock shape worth guarding against is exactly the classic one: one
+// path locks cache.mu then entry.mu, another locks entry.mu then calls
+// back into a cache method that takes cache.mu. Neither function is
+// wrong in isolation; only the global order graph shows the cycle.
+//
+// Lock classes are syntactic-by-type, not per-instance: every
+// cacheEntry.mu is one class, because any two entries are interleavable
+// at runtime. A self-edge (acquiring a class while holding it) is
+// reported too — with per-instance locks of one class there is no
+// program-visible order, so nested acquisition is only safe with a
+// global tie-break the analyzer cannot see.
+//
+// Within a function, the may-held set is propagated over the CFG
+// (union at joins); Lock/RLock adds the class and records an edge from
+// every held class, Unlock/RUnlock removes it, a deferred Unlock keeps
+// the class held until the exit chain (where the CFG places the call).
+// Calls into the module add edges from the held set to everything the
+// callee may transitively acquire. Mutexes held across unresolvable
+// calls (interface dispatch, func values) add no edges — the analyzer
+// under-approximates there rather than flooding findings.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder reports lock-acquisition-order cycles across the module.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order over named mutex classes must be acyclic module-wide",
+	AppliesTo: func(importPath string) bool {
+		return importPath == "repro" || pathIn(importPath,
+			"repro/internal/serve", "repro/internal/engine", "repro/internal/obs",
+			"repro/internal/core", "repro/tools/loadgen")
+	},
+	Run: runLockOrder,
+}
+
+// lockSite is one place an ordering edge was observed.
+type lockSite struct {
+	fn  *modFunc
+	pos token.Pos
+}
+
+// lockGraph is the module's acquisition-order graph: edges[a][b] holds
+// the sites where class b was acquired (directly or via a callee) while
+// a was held.
+type lockGraph struct {
+	edges map[string]map[string][]lockSite
+	acq   map[*modFunc]map[string]bool // transitive may-acquire sets
+}
+
+func runLockOrder(p *Pass) {
+	m := p.module()
+	g := m.lockGraph()
+	for _, from := range sortedKeys(g.edges) {
+		tos := g.edges[from]
+		for _, to := range sortedKeys(tos) {
+			if !g.reaches(to, from) {
+				continue
+			}
+			cycle := append([]string{from}, g.path(to, from)...)
+			for _, site := range tos[to] {
+				if site.fn.pkg != p.pkg {
+					continue
+				}
+				p.Reportf(site.pos,
+					"lock order cycle: %s acquired while holding %s (cycle: %s)",
+					to, from, joinArrow(cycle))
+			}
+		}
+	}
+}
+
+// lockGraph computes (once per module) the acquisition-order graph.
+func (m *Module) lockGraph() *lockGraph {
+	if m.locks != nil {
+		return m.locks
+	}
+	g := &lockGraph{
+		edges: map[string]map[string][]lockSite{},
+		acq:   map[*modFunc]map[string]bool{},
+	}
+	m.locks = g
+
+	// Transitive may-acquire sets, by fixed point.
+	for _, fn := range m.order {
+		g.acq[fn] = directAcquires(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range m.order {
+			set := g.acq[fn]
+			forEachCall(fn, func(call *ast.CallExpr) {
+				callee := m.resolve(fn.pkg, call)
+				if callee == nil {
+					return
+				}
+				for c := range g.acq[callee] {
+					if !set[c] {
+						set[c] = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Per-function held-set dataflow recording ordering edges.
+	for _, fn := range m.order {
+		g.heldEdges(m, fn)
+	}
+	return g
+}
+
+// directAcquires collects the lock classes fn locks anywhere in its
+// body (nested function literals excluded — a funclit is a different
+// goroutine's worth of behavior more often than not).
+func directAcquires(fn *modFunc) map[string]bool {
+	p := fn.pass()
+	set := map[string]bool{}
+	forEachCall(fn, func(call *ast.CallExpr) {
+		if class, op := lockClassOp(p, call); class != "" && (op == "Lock" || op == "RLock") {
+			set[class] = true
+		}
+	})
+	return set
+}
+
+// heldEdges runs the may-held dataflow over fn's CFG and records
+// ordering edges into g.
+func (g *lockGraph) heldEdges(m *Module, fn *modFunc) {
+	p := fn.pass()
+	cfg := buildCFG(fn.decl.Body)
+	in := make([]map[string]bool, len(cfg.blocks))
+	out := make([]map[string]bool, len(cfg.blocks))
+	for i := range in {
+		in[i] = map[string]bool{}
+		out[i] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range cfg.blocks {
+			ib := in[blk.index]
+			for _, pred := range blk.preds {
+				for c := range out[pred.index] {
+					if !ib[c] {
+						ib[c] = true
+						changed = true
+					}
+				}
+			}
+			ob := g.applyBlock(m, p, fn, blk, ib)
+			if !sameSet(ob, out[blk.index]) {
+				out[blk.index] = ob
+				changed = true
+			}
+		}
+	}
+}
+
+// applyBlock transfers the held set through one block, recording edges
+// for every acquisition made while something is held.
+func (g *lockGraph) applyBlock(m *Module, p *Pass, fn *modFunc, blk *cfgBlock, held map[string]bool) map[string]bool {
+	h := map[string]bool{}
+	for c := range held {
+		h[c] = true
+	}
+	for _, n := range blk.nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// The deferred call runs on the exit chain; the CFG's
+				// defer blocks carry it there.
+				return false
+			case *ast.CallExpr:
+				g.applyCall(m, p, fn, x, h)
+			}
+			return true
+		})
+	}
+	return h
+}
+
+func (g *lockGraph) applyCall(m *Module, p *Pass, fn *modFunc, call *ast.CallExpr, held map[string]bool) {
+	if class, op := lockClassOp(p, call); class != "" {
+		switch op {
+		case "Lock", "RLock":
+			for _, hc := range sortedSet(held) {
+				g.addEdge(hc, class, fn, call.Pos())
+			}
+			held[class] = true
+		case "Unlock", "RUnlock":
+			delete(held, class)
+		}
+		return
+	}
+	callee := m.resolve(fn.pkg, call)
+	if callee == nil || len(held) == 0 {
+		return
+	}
+	for _, hc := range sortedSet(held) {
+		for _, ac := range sortedSet(g.acq[callee]) {
+			g.addEdge(hc, ac, fn, call.Pos())
+		}
+	}
+}
+
+func (g *lockGraph) addEdge(from, to string, fn *modFunc, pos token.Pos) {
+	tos := g.edges[from]
+	if tos == nil {
+		tos = map[string][]lockSite{}
+		g.edges[from] = tos
+	}
+	for _, s := range tos[to] {
+		if s.pos == pos {
+			return
+		}
+	}
+	tos[to] = append(tos[to], lockSite{fn: fn, pos: pos})
+}
+
+// reaches reports whether from reaches target through graph edges
+// (trivially true when from == target).
+func (g *lockGraph) reaches(from, target string) bool {
+	if from == target {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range sortedKeys(g.edges[c]) {
+			if next == target {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// path returns a shortest class path from -> ... -> target (inclusive
+// of both ends; just [from] when from == target).
+func (g *lockGraph) path(from, target string) []string {
+	if from == target {
+		return []string{from}
+	}
+	prev := map[string]string{}
+	queue := []string{from}
+	seen := map[string]bool{from: true}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, next := range sortedKeys(g.edges[c]) {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			prev[next] = c
+			if next == target {
+				var rev []string
+				for at := target; ; at = prev[at] {
+					rev = append(rev, at)
+					if at == from {
+						break
+					}
+				}
+				path := make([]string, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return []string{from, target} // unreachable in practice: reaches() gated us
+}
+
+// lockClassOp classifies a call as a sync.Mutex/RWMutex operation on a
+// nameable lock class. Returns ("", "") for anything else, including
+// operations on function-local mutexes (no cross-goroutine order to
+// get wrong that this analyzer can name).
+func lockClassOp(p *Pass, call *ast.CallExpr) (class, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch obj.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	return lockClass(p, sel.X), obj.Name()
+}
+
+// lockClass names the mutex: "path.Type.field" for a struct-field
+// mutex, "path.var" for a package-level var, "path.Type.(embedded)"
+// for an embedded mutex reached through its enclosing struct, "" for
+// locals.
+func lockClass(p *Pass, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		fieldObj := p.Info.Uses[x.Sel]
+		if fieldObj == nil {
+			return ""
+		}
+		if owner := namedOf(p, x.X); owner != "" {
+			return owner + "." + fieldObj.Name()
+		}
+		// Selector on a package: sel.X is the package ident, the field
+		// object is a package-level var.
+		if fieldObj.Pkg() != nil && fieldObj.Parent() == fieldObj.Pkg().Scope() {
+			return fieldObj.Pkg().Path() + "." + fieldObj.Name()
+		}
+		return ""
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		// Embedded mutex promoted through a local value: name the
+		// enclosing type when there is one.
+		if owner := namedOf(p, x); owner != "" {
+			return owner + ".(embedded)"
+		}
+		return ""
+	}
+	// Method value on a struct with an embedded mutex: c.Lock().
+	if owner := namedOf(p, x); owner != "" {
+		return owner + ".(embedded)"
+	}
+	return ""
+}
+
+// namedOf returns "path.TypeName" for an expression whose type (after
+// pointer stripping) is a named struct type, excluding the sync types
+// themselves (a bare sync.Mutex value is only nameable through its
+// owner).
+func namedOf(p *Pass, x ast.Expr) string {
+	t := p.TypeOf(x)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() == "sync" {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedSet(s map[string]bool) []string {
+	return sortedKeys(s)
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinArrow(classes []string) string {
+	out := ""
+	for i, c := range classes {
+		if i > 0 {
+			out += " -> "
+		}
+		out += shortClass(c)
+	}
+	return out
+}
+
+// shortClass trims the import path down to its basename for readable
+// messages ("serve.instCache.mu" instead of the full path).
+func shortClass(c string) string {
+	for i := len(c) - 1; i >= 0; i-- {
+		if c[i] == '/' {
+			return c[i+1:]
+		}
+	}
+	return c
+}

@@ -1,0 +1,51 @@
+// Fixture: true positives for the allocloop analyzer (type-checked as
+// if it were a hot construction package). Lines marked
+// `want:allocloop` must each produce exactly one diagnostic.
+package fixture
+
+// perEdgeAlloc allocates a fresh buffer on every iteration of an
+// instance-sized loop: the direct shape.
+func perEdgeAlloc(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		buf := make([]float64, 8) // want:allocloop
+		buf[0] = w
+		total += buf[0]
+	}
+	return total
+}
+
+// perEdgeNew allocates through new instead of make.
+func perEdgeNew(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		p := new(float64) // want:allocloop
+		*p = w
+		total += *p
+	}
+	return total
+}
+
+// perEdgeViaCall hides the allocation behind a helper: newBuf (see
+// helper.go) allocates on every call, so the call site is the finding.
+func perEdgeViaCall(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		buf := newBuf() // want:allocloop
+		buf[0] = w
+		total += buf[0]
+	}
+	return total
+}
+
+// perEdgeViaChain reaches the allocation two calls down: the summary
+// chain (wrap -> newBuf -> make) must survive the extra hop.
+func perEdgeViaChain(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		buf := wrap() // want:allocloop
+		buf[0] = w
+		total += buf[0]
+	}
+	return total
+}

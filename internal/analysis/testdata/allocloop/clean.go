@@ -1,0 +1,73 @@
+// Fixture: clean idioms, a justified suppression, and one stale
+// suppression for the allocloop analyzer.
+package fixture
+
+// hoisted allocates once before the loop: the canonical fix.
+func hoisted(weights []float64) float64 {
+	buf := make([]float64, 8)
+	total := 0.0
+	for _, w := range weights {
+		buf[0] = w
+		total += buf[0]
+	}
+	return total
+}
+
+// growGuardedInline re-allocates only when capacity runs out — the
+// core.Scratch attach shape, exempt by the cap-check guard.
+func growGuardedInline(weights []float64) float64 {
+	var buf []float64
+	total := 0.0
+	for i, w := range weights {
+		if cap(buf) < i+1 {
+			buf = make([]float64, (i+1)*2)
+		}
+		buf[i] = w
+		total += buf[i]
+	}
+	return total
+}
+
+// scratchViaCall calls the grow-guarded attach helper per iteration:
+// the callee's summary is empty, so the call is clean.
+func scratchViaCall(weights []float64) float64 {
+	var s scratchBuf
+	total := 0.0
+	for i, w := range weights {
+		buf := s.attach(i + 1)
+		buf[i] = w
+		total += buf[i]
+	}
+	return total
+}
+
+// appended grows a slice with append: amortized by the runtime, owned
+// by other analyzers, not flagged here.
+func appended(weights []float64) []float64 {
+	out := make([]float64, 0, len(weights))
+	for _, w := range weights {
+		out = append(out, w*w)
+	}
+	return out
+}
+
+// suppressed allocates per iteration on purpose, with a reason.
+func suppressed(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		//lint:ignore allocloop cold error path runs at most once per build, pinned by TestSuppressedColdPath
+		buf := make([]float64, 8)
+		buf[0] = w
+		total += buf[0]
+	}
+	return total
+}
+
+// stale directive: the hoisted allocation below is already outside the
+// loop, so the suppression must itself be reported.
+//lint:ignore allocloop suppressing an allocation that is not in a loop // want:lint
+func alreadyHoisted(weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	copy(out, weights)
+	return out
+}

@@ -1,0 +1,24 @@
+// Fixture helpers: the allocation summaries must carry facts from
+// this file into findings reported in bad.go.
+package fixture
+
+// newBuf allocates unconditionally on every call.
+func newBuf() []float64 {
+	return make([]float64, 16)
+}
+
+// wrap adds one hop above the allocation.
+func wrap() []float64 {
+	return newBuf()
+}
+
+// growGuarded allocates only when the scratch is too small: the
+// approved idiom, invisible to the summary.
+type scratchBuf struct{ buf []float64 }
+
+func (s *scratchBuf) attach(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}

@@ -1,0 +1,93 @@
+// Fixture: clean idioms, a justified suppression, and one stale
+// suppression for the ctxflow analyzer.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/cancel"
+)
+
+// BuildForwarded threads the context down to the loop: the callee
+// polls, so nothing is hungry.
+func BuildForwarded(ctx context.Context, weights []float64) float64 {
+	return scanCtx(ctx, weights)
+}
+
+func scanCtx(ctx context.Context, weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += heavy(w)
+	}
+	return total
+}
+
+// BuildStrided makes context-free calls from inside a polled loop —
+// the engine's stride design. The per-iteration Tick bounds the
+// cancellation gap to one scanAll batch, so the call is exempt.
+func BuildStrided(chk *cancel.Checker, batches [][]float64) (float64, error) {
+	total := 0.0
+	for _, b := range batches {
+		if err := chk.Tick(); err != nil {
+			return 0, err
+		}
+		total += scanAll(b)
+	}
+	return total, nil
+}
+
+// striding hides the Checker behind a struct field: the loop in
+// scanPolled reaches a poll through the step helper, so nothing here
+// is hungry even though no call carries a ctx.
+type striding struct{ chk *cancel.Checker }
+
+func (s *striding) step() error { return s.chk.Tick() }
+
+func (s *striding) Scan(ctx context.Context, weights []float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return s.scanPolled(weights)
+}
+
+func (s *striding) scanPolled(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		if s.step() != nil {
+			return total
+		}
+		total += heavy(w)
+	}
+	return total
+}
+
+// BuildChecked drops the context on purpose, with a reasoned
+// suppression: no finding may surface.
+func BuildChecked(ctx context.Context, weights []float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	//lint:ignore ctxflow post-construction O(n) fold, pinned by TestBuildCheckedBounded
+	return scanAll(weights)
+}
+
+// stale directive: smallSum is not hungry (constant-bound loop), so
+// the suppression has nothing to suppress and must itself be reported.
+//lint:ignore ctxflow suppressing a loop that is not instance-sized // want:lint
+func SmallSum(ctx context.Context, weights []float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return smallSum(weights)
+}
+
+func smallSum(weights []float64) float64 {
+	total := 0.0
+	for i := 0; i < 4; i++ {
+		total += heavy(weights[i%len(weights)])
+	}
+	return total
+}

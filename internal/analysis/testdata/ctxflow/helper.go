@@ -1,0 +1,17 @@
+// Fixture helpers: the hungry summary must flow through this file's
+// call chain into findings reported in bad.go.
+package fixture
+
+// outer has no loop of its own; it is hungry only because inner is.
+func outer(weights []float64) float64 {
+	return inner(weights)
+}
+
+// inner is a hungry leaf reached two calls below the dropped context.
+func inner(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += heavy(w)
+	}
+	return total
+}

@@ -1,0 +1,59 @@
+// Fixture: true positives for the detflow analyzer (type-checked as if
+// it were a construction package). Lines marked `want:detflow` must
+// each produce exactly one diagnostic.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+// KeysUnsorted leaks map-iteration order through its exported return:
+// the slice is accumulated under a map range and never sorted.
+func KeysUnsorted(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want:detflow
+}
+
+// KeysViaHelper leaks the same order interprocedurally: the taint is
+// introduced inside keysOf (see helper.go) and surfaces only at this
+// exported return.
+func KeysViaHelper(m map[string]int) []string {
+	return keysOf(m) // want:detflow
+}
+
+// FirstWinner returns whichever channel happened to be ready first —
+// a select winner is scheduler-ordered, not input-ordered.
+func FirstWinner(a, b chan int) int {
+	var v int
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	return v // want:detflow
+}
+
+// Stamp returns a wall-clock read from a deterministic package.
+func Stamp() string {
+	return time.Now().String() // want:detflow
+}
+
+// Describe formats a pointer: the address differs across runs.
+func Describe(n *node) string {
+	return fmt.Sprintf("%p", n) // want:detflow
+}
+
+// dumpKeys is unexported, so its return is nobody's contract — but the
+// print writes map-ordered bytes to output.
+func dumpKeys(m map[string]int) {
+	keys := []string{}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want:detflow
+}
+
+type node struct{ next *node }

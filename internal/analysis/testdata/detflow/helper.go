@@ -1,0 +1,16 @@
+// Fixture helpers: the taint summaries must carry facts from this file
+// into findings reported in bad.go / clean.go.
+package fixture
+
+// keysOf introduces map-order taint; its callers inherit it through
+// the module taint summary.
+func keysOf(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// identity propagates whatever taint its argument carries.
+func identity(s []string) []string { return s }

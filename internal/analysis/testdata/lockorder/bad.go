@@ -1,0 +1,65 @@
+// Fixture: true positives for the lockorder analyzer (type-checked as
+// if it were the serving package). Lines marked `want:lockorder` must
+// each produce exactly one diagnostic.
+//
+// The cycle is the classic two-mutex deadlock: bump acquires
+// cache.mu -> entry.mu while refresh acquires entry.mu -> cache.mu.
+// Each function is locally fine; only the module-wide order graph sees
+// the cycle, and every acquisition site on a cyclic edge is reported.
+package fixture
+
+import "sync"
+
+type cache struct {
+	mu   sync.Mutex
+	ents []*entry
+}
+
+type entry struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump: cache.mu held, then entry.mu acquired.
+func (c *cache) bump(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.mu.Lock() // want:lockorder
+	e.n++
+	e.mu.Unlock()
+}
+
+// refresh: entry.mu held, then cache.mu acquired — the reverse order.
+func (e *entry) refresh(c *cache) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c.mu.Lock() // want:lockorder
+	c.ents = append(c.ents, e)
+	c.mu.Unlock()
+}
+
+// size acquires cache.mu; on its own it is harmless.
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ents)
+}
+
+// report creates the entry.mu -> cache.mu edge interprocedurally: the
+// lock hides inside size, reached through a call made under entry.mu.
+func (e *entry) report(c *cache) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return c.size() // want:lockorder
+}
+
+// merge acquires the entry class while already holding it: with
+// per-instance locks of one class there is no program-visible order,
+// so the self-edge is reported too.
+func (e *entry) merge(o *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o.mu.Lock() // want:lockorder
+	e.n += o.n
+	o.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+// Fixture: clean idioms, a justified suppression, and one stale
+// suppression for the lockorder analyzer.
+package fixture
+
+import "sync"
+
+// registry is a single-class lock used without nesting: no edges at
+// all.
+type registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (r *registry) set(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+func (r *registry) get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// publish nests two classes in one consistent direction only
+// (registry.mu -> stats.mu): an edge without a reverse path is not a
+// cycle.
+type stats struct {
+	mu     sync.Mutex
+	writes int
+}
+
+func (r *registry) publish(s *stats, k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+	s.mu.Lock()
+	s.writes++
+	s.mu.Unlock()
+}
+
+// handoff releases the first lock before taking the second: no point
+// where both are held, so no edge.
+func (r *registry) handoff(s *stats) {
+	r.mu.Lock()
+	n := len(r.m)
+	r.mu.Unlock()
+	s.mu.Lock()
+	s.writes += n
+	s.mu.Unlock()
+}
+
+// localOnly locks a function-local mutex: locals have no nameable
+// class and never enter the graph.
+func localOnly() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// pool acquires its own class twice by design, ordered by a global
+// slot index: the self-edge is suppressed with the tie-break named.
+type pool struct {
+	mu   sync.Mutex
+	next *pool
+}
+
+func (p *pool) steal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:ignore lockorder victim is always the higher slot index, pinned by TestPoolStealOrder
+	p.next.mu.Lock()
+	p.next.mu.Unlock()
+}
+
+// stale directive: get takes one lock with nothing held, so there is
+// nothing to suppress and the directive itself must be reported.
+//lint:ignore lockorder suppressing a single unnested acquisition // want:lint
+func (r *registry) peek(k string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.m[k]
+	return v, ok
+}

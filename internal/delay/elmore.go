@@ -209,6 +209,7 @@ func BKRUSElmoreBuild(ctx context.Context, in *inst.Instance, eps float64, m Mod
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxflow StarR is a single O(n) Elmore fold over the star tree before the cancellable ladder begins
 	starR := StarR(in, m)
 	bound := (1 + eps) * starR
 	best := (*graph.Tree)(nil)
@@ -227,6 +228,7 @@ func BKRUSElmoreBuild(ctx context.Context, in *inst.Instance, eps float64, m Mod
 	}
 	if best == nil {
 		best = starTree(in)
+		//lint:ignore ctxflow post-ladder O(n) Elmore fold on the finished fallback tree; the cancellable work already returned
 		if !withinBound(SourceRadius(best, m), bound) {
 			return nil, ErrInfeasible
 		}

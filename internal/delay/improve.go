@@ -23,6 +23,7 @@ func ImproveElmore(ctx context.Context, in *inst.Instance, start *graph.Tree, ep
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxflow StarR is a single O(n) Elmore fold; cancellation propagates through the exchange search below
 	bound := (1 + eps) * StarR(in, m)
 	res, err := exchange.ImproveFunc(ctx, in, start, func(t *graph.Tree) bool {
 		return withinBound(SourceRadius(t, m), bound)

@@ -198,7 +198,8 @@ func (r *Registry) SweepParallel(ctx context.Context, name string, in *inst.Inst
 	//lint:ignore ctxpoll post-barrier O(cells) registry fold; aborting it mid-merge would break the merge-order contract pinned by TestSweepParallelObsMergeDeterministic
 	for i, reg := range priv {
 		if reg != nil && ps[i].Obs != nil {
-			ps[i].Obs.Merge(reg)
+			//lint:ignore allocloop snapshot merge allocates O(counters) per sweep cell, off the per-edge hot path
+			ps[i].Obs.Merge(reg) //lint:ignore ctxflow post-barrier registry fold; aborting mid-merge would break the merge-order contract
 		}
 	}
 	return out, nil

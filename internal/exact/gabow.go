@@ -95,6 +95,7 @@ func BMSTGWithStats(ctx context.Context, in *inst.Instance, b core.Bounds, opt O
 	st.ForcedEdges = len(forced)
 	e := &enumerator{n: in.N(), sorted: cand}
 
+	//lint:ignore ctxflow one-shot root relaxation before the polled enumeration loop; latency is bounded by a single Kruskal pass
 	root, ok := mst.ConstrainedKruskal(e.n, e.sorted, forced, nil)
 	if !ok {
 		return nil, st, core.ErrInfeasible

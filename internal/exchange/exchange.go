@@ -73,6 +73,7 @@ func Improve(ctx context.Context, in *inst.Instance, start *graph.Tree, b core.B
 
 // ImproveFunc is Improve with an arbitrary feasibility predicate.
 func ImproveFunc(ctx context.Context, in *inst.Instance, start *graph.Tree, feasible Feasibility, opt Options) (Result, error) {
+	//lint:ignore ctxflow pre-search O(n) structural validation, same contract as the feasibility check below
 	if err := start.Validate(); err != nil {
 		return Result{}, fmt.Errorf("exchange: invalid starting tree: %w", err)
 	}

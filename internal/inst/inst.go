@@ -19,6 +19,8 @@ type Instance struct {
 	pts    []geom.Point // pts[0] = source
 	metric geom.Metric
 	dm     *geom.DistMatrix // lazily built
+	r      float64          // farthest source-to-sink distance (the paper's R)
+	nearR  float64          // nearest source-to-sink distance (the paper's r)
 }
 
 // New builds an instance from a source, its sinks, and a metric. The sink
@@ -38,7 +40,20 @@ func New(source geom.Point, sinks []geom.Point, m geom.Metric) (*Instance, error
 			return nil, fmt.Errorf("inst: terminal %d has non-finite coordinates %v", i, p)
 		}
 	}
-	return &Instance{pts: pts, metric: m}, nil
+	in := &Instance{pts: pts, metric: m, nearR: math.Inf(1)}
+	// Precompute both radii: the points are immutable, R is read in
+	// per-edge inner loops (exchange, Gabow pruning), and paying the
+	// scan here keeps R/NearestR O(1) on every later call.
+	for i := 1; i < len(pts); i++ {
+		d := m.Dist(pts[0], pts[i])
+		if d > in.r {
+			in.r = d
+		}
+		if d < in.nearR {
+			in.nearR = d
+		}
+	}
+	return in, nil
 }
 
 // MustNew is New but panics on error; intended for fixtures and examples.
@@ -87,28 +102,14 @@ func (in *Instance) DistMatrix() *geom.DistMatrix {
 }
 
 // R returns the direct distance from the source to the farthest sink —
-// the paper's R, the radius of the shortest path tree.
-func (in *Instance) R() float64 {
-	var r float64
-	for i := 1; i < len(in.pts); i++ {
-		if d := in.metric.Dist(in.pts[0], in.pts[i]); d > r {
-			r = d
-		}
-	}
-	return r
-}
+// the paper's R, the radius of the shortest path tree. Precomputed at
+// construction; O(1).
+func (in *Instance) R() float64 { return in.r }
 
 // NearestR returns the direct distance from the source to the nearest
-// sink — the paper's lowercase r in Table 1.
-func (in *Instance) NearestR() float64 {
-	r := math.Inf(1)
-	for i := 1; i < len(in.pts); i++ {
-		if d := in.metric.Dist(in.pts[0], in.pts[i]); d < r {
-			r = d
-		}
-	}
-	return r
-}
+// sink — the paper's lowercase r in Table 1. Precomputed at
+// construction; O(1).
+func (in *Instance) NearestR() float64 { return in.nearR }
 
 // Bound returns the path-length upper bound (1+eps)*R. eps = +Inf yields
 // +Inf (the unconstrained MST case in the paper's tables).

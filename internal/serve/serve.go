@@ -335,6 +335,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
+	//lint:ignore ctxflow request validation is O(nets) with constant per-net work, bounded by maxBatch
 	nets, err := s.validate(&req)
 	if err != nil {
 		s.badRequest(w, err.Error())
@@ -431,6 +432,7 @@ func (s *Server) buildNet(ctx context.Context, cn checkedNet) (NetResult, error)
 	for i, p := range n.Sinks {
 		sinks[i] = geom.Point{X: p.X, Y: p.Y}
 	}
+	//lint:ignore ctxflow cache lookup scans an O(collisions) hash bucket, not instance-sized work
 	entry, hit, err := s.cache.lookup(cn.metric, geom.Point{X: n.Source.X, Y: n.Source.Y}, sinks)
 	if err != nil {
 		return NetResult{}, err
@@ -484,6 +486,7 @@ func (s *Server) buildTrees(ctx context.Context, cn checkedNet, entry *cacheEntr
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore ctxflow response encoding runs after the build completed; the result must be written whole
 		return []TreeResult{encodeResult(n.Eps, entry.in, res)}, nil
 	}
 

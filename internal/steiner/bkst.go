@@ -199,6 +199,7 @@ func BKSTBuild(ctx context.Context, in *inst.Instance, bounds core.Bounds, cfg C
 	if in.Metric() != geom.Manhattan {
 		return nil, fmtErrMetric(in.Metric())
 	}
+	//lint:ignore ctxflow heap seeding is O(terminals^2) before the first pop; run(ctx) polls from the first candidate on and BKST terminal counts are small by design
 	b := newBuilder(in, bounds.Upper)
 	b.lower = bounds.Lower
 	b.planar = cfg.Planar
@@ -213,11 +214,12 @@ func BKSTBuild(ctx context.Context, in *inst.Instance, bounds core.Bounds, cfg C
 		return nil, ErrNotPlanar
 	}
 	st := &SteinerTree{grid: b.g, edges: b.edges}
+	//lint:ignore ctxflow post-construction structural check, same contract as the bound check below
 	if err := st.Validate(); err != nil {
 		return nil, fmt.Errorf("steiner: internal error: %w", err)
 	}
 	//lint:ignore ctxpoll post-construction O(terminals) bound check; cancellation mid-build is already honored inside run(ctx) and the check itself is pinned by TestBKSTZeroEpsRespectsBound and TestBKSTLUBoundsRespected
-	for t, d := range st.PathLengths() {
+	for t, d := range st.PathLengths() { //lint:ignore ctxflow post-construction O(terminals) path-length fold pinned by TestBKSTZeroEpsRespectsBound
 		if t == 0 {
 			continue
 		}
@@ -245,6 +247,13 @@ type builder struct {
 	edges      []graph.Edge
 	srcGrid    int
 	c          *Counters // optional instrumentation (nil = off)
+
+	// Maze-route scratch, grow-guarded: fallbackConnect runs mazeRoute
+	// once per detached terminal, so the O(grid) working arrays are
+	// reused across calls instead of reallocated per iteration.
+	mzDist []float64
+	mzFrom []int
+	mzDone []bool
 }
 
 func newBuilder(in *inst.Instance, bound float64) *builder {
@@ -586,12 +595,18 @@ func (b *builder) bestJumper(x int) (w, z int, total float64) {
 func (b *builder) mazeRoute(x int) ([]int, float64) {
 	srcRep := b.ds.Find(b.srcGrid)
 	xRep := b.ds.Find(x)
-	dist := make([]float64, b.g.Size())
-	from := make([]int, b.g.Size())
-	done := make([]bool, b.g.Size())
+	if cap(b.mzDist) < b.g.Size() {
+		b.mzDist = make([]float64, b.g.Size())
+		b.mzFrom = make([]int, b.g.Size())
+		b.mzDone = make([]bool, b.g.Size())
+	}
+	dist := b.mzDist[:b.g.Size()]
+	from := b.mzFrom[:b.g.Size()]
+	done := b.mzDone[:b.g.Size()]
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		from[i] = -1
+		done[i] = false
 	}
 	h := &mazeHeap{}
 	for _, w := range b.ds.Members(x) {

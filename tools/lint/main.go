@@ -1,16 +1,24 @@
 // Command lint runs the repository's domain-invariant analyzers (see
 // internal/analysis: floatcmp, maporder, wallclock, obsgate, ctxpoll,
-// parallelgate, waitpair, sharedwrite, errdrop) over the packages
-// matching the given patterns and prints one file:line:col diagnostic
-// per finding. It exits 0 on a clean tree, 1 when there are findings,
-// and 2 on usage or load errors — a package that fails to list, parse
-// or type-check is reported by import path on stderr.
+// parallelgate, waitpair, sharedwrite, errdrop, detflow, ctxflow,
+// allocloop, lockorder) over the packages matching the given patterns
+// and prints one file:line:col diagnostic per finding. It exits 0 on a
+// clean tree, 1 when there are findings, and 2 on usage or load errors
+// — a package that fails to list, parse or type-check is reported by
+// import path on stderr. Partial loads are refused the same way: a
+// broken or export-less dependency anywhere in the pattern's closure
+// names the failing package and exits 2, because silently analyzing
+// the remainder would shrink the interprocedural call graph the
+// module-wide analyzers depend on.
 //
 // Usage:
 //
-//	lint [-list] [-dir dir] [packages]
+//	lint [-list] [-dir dir] [-analyzer names] [packages]
 //
-// With no patterns it lints ./... . Findings are suppressed per line
+// With no patterns it lints ./... . The packages are loaded together
+// as one module so the interprocedural analyzers see cross-package
+// call chains. -analyzer restricts the run to a comma-separated subset
+// (e.g. -analyzer detflow,lockorder). Findings are suppressed per line
 // with `//lint:ignore <analyzer> <reason>`; see the "Code invariants"
 // section of the README for what each analyzer enforces and when a
 // suppression is legitimate.
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -37,8 +46,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", "", "directory to resolve package patterns in (default: current directory)")
+	only := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lint [-list] [-dir dir] [packages]")
+		fmt.Fprintln(stderr, "usage: lint [-list] [-dir dir] [-analyzer names] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -52,8 +62,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+		if analyzers == nil {
+			fmt.Fprintf(stderr, "lint: unknown analyzer in -analyzer=%s (use -list)\n", *only)
+			return 2
+		}
+	}
 
-	pkgs, err := analysis.Load(*dir, fs.Args()...)
+	mod, err := analysis.LoadModule(*dir, fs.Args()...)
 	if err != nil {
 		var le *analysis.LoadError
 		if errors.As(err, &le) {
@@ -64,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := 0
-	for _, pkg := range pkgs {
+	for _, pkg := range mod.Pkgs {
 		for _, d := range analysis.Run(pkg, analyzers) {
 			fmt.Fprintln(stdout, d)
 			findings++
@@ -75,4 +92,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers filters the registry down to the comma-separated
+// names, preserving registry order. Returns nil when a name matches no
+// analyzer.
+func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 || len(out) == 0 {
+		return nil
+	}
+	return out
 }

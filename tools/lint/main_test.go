@@ -61,6 +61,59 @@ func TestTypeErrorExitsTwo(t *testing.T) {
 	}
 }
 
+// TestPartialLoadExitsTwo is the regression test for the module-wide
+// load contract: when a healthy package imports a broken one, the run
+// must refuse the whole load with exit 2 and name the broken package —
+// not silently analyze the healthy remainder with a shrunken call
+// graph.
+func TestPartialLoadExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        "module scratch\n\ngo 1.22\n",
+		"ok/ok.go":      "package ok\n\nimport \"scratch/broken\"\n\nfunc Use() int { return broken.N }\n",
+		"broken/bad.go": "package broken\n\nvar N int = \"not an int\"\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "./ok"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "scratch/broken") {
+		t.Errorf("stderr does not name the broken dependency:\n%s", errb.String())
+	}
+}
+
+// TestAnalyzerSubset: -analyzer restricts the run to the named
+// analyzers, so a module with a floatcmp finding lints clean when only
+// detflow and lockorder are selected.
+func TestAnalyzerSubset(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"w/w.go": "package w\n\nfunc eq(a, b float64) bool { return a == b }\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "-analyzer", "detflow,lockorder", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	code = run([]string{"-dir", dir, "-analyzer", "floatcmp", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code with -analyzer floatcmp = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+}
+
+// TestUnknownAnalyzerExitsTwo: a name outside the registry is a usage
+// error, not a silent no-op run.
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-analyzer", "nosuch", "."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "nosuch") {
+		t.Errorf("stderr does not echo the unknown name:\n%s", errb.String())
+	}
+}
+
 // TestFindingsExitOne: a loadable package with a violation exits 1 and
 // prints the diagnostic.
 func TestFindingsExitOne(t *testing.T) {
