@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-smoke bench-diff quick experiments examples cover fuzz metrics-smoke serve-smoke clean
+.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-json-pr8 bench-smoke bench-diff quick experiments examples cover fuzz metrics-smoke serve-smoke clean
 
 all: build vet lint test conformance
 
@@ -62,9 +62,18 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchmem ./internal/graph/ ; } \
 	| $(GO) run ./tools/benchjson -o BENCH_PR4.json
 
+# machine-readable record of the sub-quadratic geometry benchmarks:
+# sparse vs dense BKRUS over the whole pipeline (instance + geometry
+# cache + build + release), so B/op is the footprint headline the
+# bytes/op diff gate protects (DESIGN.md §13)
+bench-json-pr8:
+	$(GO) test -run '^$$' -bench 'BenchmarkBKRUS(Sparse|Dense)' -benchmem -timeout 30m ./internal/core/ \
+	| $(GO) run ./tools/benchjson -o BENCH_PR8.json
+
 # one-iteration rerun of the committed benchmark set diffed against
 # the BENCH_PR4.json baseline; informational (no -fail-over) because a
-# 1x run is too noisy to gate on
+# 1x run is too noisy to gate on. The PR8 diff skips the n=10⁵ row
+# (bench-smoke runs it) but still compares ns/op and B/op on the rest.
 bench-diff:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkBKRUS(Stream|Eager)' -benchtime 1x -benchmem ./internal/core/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSweepParallel|BenchmarkBKRUSSweep' -benchtime 1x -benchmem ./internal/engine/ && \
@@ -72,6 +81,9 @@ bench-diff:
 	  $(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchtime 1x -benchmem ./internal/graph/ ; } \
 	| $(GO) run ./tools/benchjson -o /tmp/bench_head.json
 	$(GO) run ./tools/benchjson -diff BENCH_PR4.json /tmp/bench_head.json
+	$(GO) test -run '^$$' -bench 'BenchmarkBKRUSSparse/n=(1000|10000)$$|BenchmarkBKRUSDense' -benchtime 1x -benchmem ./internal/core/ \
+	| $(GO) run ./tools/benchjson -o /tmp/bench_head_pr8.json
+	$(GO) run ./tools/benchjson -diff BENCH_PR8.json /tmp/bench_head_pr8.json
 
 # one-iteration smoke over the same benchmarks, cheap enough for CI
 bench-smoke:
@@ -79,6 +91,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepParallel' -benchtime 1x -benchmem ./internal/engine/
 	$(GO) test -run '^$$' -bench 'BenchmarkDistMatrix' -benchtime 1x ./internal/geom/
 	$(GO) test -run '^$$' -bench 'BenchmarkEdgeStreamPrefix|BenchmarkParallelSortEdges' -benchtime 1x ./internal/graph/
+	$(GO) test -run '^$$' -bench 'BenchmarkBKRUSSparse/n=100000$$' -benchtime 1x -benchmem -timeout 20m ./internal/core/
 
 # every table and figure at reduced size (seconds)
 quick:

@@ -144,6 +144,11 @@ type Config struct {
 	// strict total order, so the sorted sequence is unique); the knob
 	// exists for conformance tests and A/B benchmarks.
 	EagerSort bool
+	// Geometry selects the geometric substrate: dense (materialized
+	// matrix + complete edge list, the historical behaviour) or sparse
+	// (distance oracle + octant neighbor graph, no O(n²) state). The
+	// zero value GeomAuto resolves by instance size (SparseThreshold).
+	Geometry Geometry
 }
 
 // BKRUSBuild is the full-control entry point behind every BKRUS variant:
@@ -161,12 +166,13 @@ func BKRUSBuild(ctx context.Context, in *inst.Instance, b Bounds, cfg Config) (*
 }
 
 // Scratch holds the reusable working state of the BKRUS engine: the
-// O(n²) P-matrix, the radius and witness-order buffers, the disjoint
-// set, and the lazily sorted edge stream (cached per instance, which is
-// immutable, so an ε-sweep over one instance shares one partially
-// drained stream — the prefix one run sorts is free for the next). A
-// zero Scratch is ready to use; it grows to the largest instance it has
-// served and is not safe for concurrent use.
+// dense P-matrix or the sparse forest bookkeeping (whichever modes it
+// has served), the radius and witness-order buffers, the disjoint set,
+// and the lazily sorted edge stream (cached per instance and mode; the
+// instance is immutable, so an ε-sweep over one instance shares one
+// partially drained stream — the prefix one run sorts is free for the
+// next). A zero Scratch is ready to use; it grows to the largest
+// instance it has served and is not safe for concurrent use.
 type Scratch struct {
 	p       []float64
 	r       []float64
@@ -174,16 +180,34 @@ type Scratch struct {
 	byBase  [][]int
 	ds      *graph.DisjointSet
 
-	stream    *graph.EdgeStream
-	streamFor *inst.Instance
+	// Sparse-mode buffers: forest adjacency, source paths, DFS path
+	// scratch and DFS stacks. Untouched by dense constructions.
+	adj       [][]graph.Adj
+	distS     []float64
+	pathU     []float64
+	pathV     []float64
+	stackNode []int32
+	stackPar  []int32
+
+	stream       *graph.EdgeStream
+	streamFor    *inst.Instance
+	streamSparse bool
 }
 
 // edgeStream returns the cached lazy edge stream for in, rebuilding it
-// only when the instance changes and rewinding it otherwise.
-func (s *Scratch) edgeStream(in *inst.Instance, dm graph.Weights) *graph.EdgeStream {
-	if s.streamFor != in {
-		s.stream = graph.NewEdgeStream(dm)
+// only when the instance or the substrate changes and rewinding it
+// otherwise. In sparse mode the stream draws from the octant neighbor
+// edge set; dm is only consulted on the dense path, so a sparse run
+// never enumerates the complete graph.
+func (s *Scratch) edgeStream(in *inst.Instance, dm graph.Weights, sparse bool) *graph.EdgeStream {
+	if s.streamFor != in || s.streamSparse != sparse {
+		if sparse {
+			s.stream = graph.NewSparseEdgeStream(in.Index(), graph.Source)
+		} else {
+			s.stream = graph.NewEdgeStream(dm)
+		}
 		s.streamFor = in
+		s.streamSparse = sparse
 	} else {
 		s.stream.Reset()
 	}
@@ -201,11 +225,47 @@ func (s *Scratch) edgeStream(in *inst.Instance, dm graph.Weights) *graph.EdgeStr
 func (s *Scratch) Release() {
 	s.stream = nil
 	s.streamFor = nil
+	s.streamSparse = false
+}
+
+// MemBytes estimates the heap bytes currently retained by the scratch:
+// every mode's working buffers plus the cached edge stream. Pooled
+// consumers with byte budgets (internal/serve) use this to account
+// pinned scratches.
+func (s *Scratch) MemBytes() int64 {
+	b := int64(cap(s.p)+cap(s.r)+cap(s.baseKey)+cap(s.distS)+cap(s.pathU)+cap(s.pathV)) * 8
+	b += int64(cap(s.stackNode)+cap(s.stackPar)) * 4
+	b += int64(cap(s.byBase)) * 24
+	for i := range s.byBase {
+		b += int64(cap(s.byBase[i])) * 8
+	}
+	b += int64(cap(s.adj)) * 24
+	for i := range s.adj {
+		b += int64(cap(s.adj[i])) * 16
+	}
+	if s.ds != nil {
+		b += s.ds.MemBytes()
+	}
+	if s.stream != nil {
+		b += s.stream.MemBytes()
+	}
+	return b
 }
 
 // attach points the engine's buffers at the scratch, growing and
-// resetting them for an n-node instance.
+// resetting them for an n-node instance. Only the buffers of the
+// engine's substrate are grown: a sparse engine never touches the n²
+// P-matrix, which is the point of the mode.
 func (s *Scratch) attach(e *engine, n int) {
+	if e.sparse {
+		s.attachSparse(e, n)
+	} else {
+		s.attachDense(e, n)
+	}
+	s.attachCommon(e, n)
+}
+
+func (s *Scratch) attachDense(e *engine, n int) {
 	if cap(s.p) < n*n {
 		s.p = make([]float64, n*n)
 	} else {
@@ -214,6 +274,36 @@ func (s *Scratch) attach(e *engine, n int) {
 			s.p[i] = 0
 		}
 	}
+	e.p = s.p
+}
+
+func (s *Scratch) attachSparse(e *engine, n int) {
+	if cap(s.adj) < n {
+		s.adj = make([][]graph.Adj, n)
+	} else {
+		s.adj = s.adj[:n]
+	}
+	for i := range s.adj {
+		s.adj[i] = s.adj[i][:0]
+	}
+	if cap(s.distS) < n {
+		s.distS = make([]float64, n)
+		s.pathU = make([]float64, n)
+		s.pathV = make([]float64, n)
+	} else {
+		s.distS = s.distS[:n]
+		s.pathU = s.pathU[:n]
+		s.pathV = s.pathV[:n]
+	}
+	for i := range s.distS {
+		s.distS[i] = math.Inf(1)
+	}
+	s.distS[graph.Source] = 0
+	e.adj, e.distS, e.pathU, e.pathV = s.adj, s.distS, s.pathU, s.pathV
+	e.stackNode, e.stackPar = s.stackNode, s.stackPar
+}
+
+func (s *Scratch) attachCommon(e *engine, n int) {
 	if cap(s.r) < n {
 		s.r = make([]float64, n)
 	} else {
@@ -240,21 +330,22 @@ func (s *Scratch) attach(e *engine, n int) {
 	} else {
 		s.ds.Reset()
 	}
-	e.p, e.r, e.baseKey, e.byBase, e.ds = s.p, s.r, s.baseKey, s.byBase, s.ds
+	e.r, e.baseKey, e.byBase, e.ds = s.r, s.baseKey, s.byBase, s.ds
 }
 
 // engine carries the BKRUS working state for one construction.
 type engine struct {
 	n       int
-	dm      graph.Weights
+	sparse  bool          // substrate: oracle + neighbor graph vs matrix + complete graph
+	dm      graph.Weights // matrix (dense) or on-demand oracle (sparse)
 	b       Bounds
-	p       []float64 // P[x][y] flattened: in-forest path lengths, 0 across trees
+	p       []float64 // dense only — P[x][y] flattened: in-forest path lengths, 0 across trees
 	r       []float64 // radius of each node within its partial tree
 	baseKey []float64 // per-refresh witnessBase cache, indexed by node id
 	ds      *graph.DisjointSet
 	c       *Counters         // optional instrumentation (nil = off)
 	scratch *Scratch          // optional pooled buffers (nil = own allocations)
-	stream  *graph.EdgeStream // complete-graph edges in nondecreasing weight order
+	stream  *graph.EdgeStream // candidate edges in nondecreasing weight order
 	// byBase[rep] lists the members of the set named rep in ascending
 	// order of witnessBase = dist(S,x) + r[x] (lower-bound-ineligible
 	// members, base = +Inf, sort last). Since radius_M(x) >= r[x] for any
@@ -262,22 +353,48 @@ type engine struct {
 	// whose base exceeds Upper: no later member can witness condition
 	// (3-b) either.
 	byBase [][]int
+	// Sparse-substrate state (nil on the dense path): the partial
+	// forest's adjacency, the immutable-once-set source paths, and the
+	// DFS scratch that replaces P-matrix rows. See sparse.go.
+	adj          [][]graph.Adj
+	distS        []float64
+	pathU, pathV []float64
+	stackNode    []int32
+	stackPar     []int32
 }
 
 func newEngine(in *inst.Instance, b Bounds, cfg Config) *engine {
 	n := in.N()
 	e := &engine{
 		n:       n,
-		dm:      in.DistMatrix(),
+		sparse:  cfg.Geometry.Sparse(n),
 		b:       b,
 		c:       cfg.Counters,
 		scratch: cfg.Scratch,
 	}
+	if e.sparse {
+		e.dm = in.Oracle()
+	} else {
+		e.dm = in.DistMatrix()
+	}
 	if e.scratch != nil {
 		e.scratch.attach(e, n)
-		e.stream = e.scratch.edgeStream(in, e.dm)
+		e.stream = e.scratch.edgeStream(in, e.dm, e.sparse)
 	} else {
-		e.p = make([]float64, n*n)
+		if e.sparse {
+			e.adj = make([][]graph.Adj, n)
+			e.distS = make([]float64, n)
+			for i := range e.distS {
+				e.distS[i] = math.Inf(1)
+			}
+			e.distS[graph.Source] = 0
+			e.pathU = make([]float64, n)
+			e.pathV = make([]float64, n)
+			e.stream = graph.NewSparseEdgeStream(in.Index(), graph.Source)
+		} else {
+			e.p = make([]float64, n*n)
+			e.stream = graph.NewEdgeStream(e.dm)
+		}
 		e.r = make([]float64, n)
 		e.baseKey = make([]float64, n)
 		e.ds = graph.NewDisjointSet(n)
@@ -285,7 +402,6 @@ func newEngine(in *inst.Instance, b Bounds, cfg Config) *engine {
 		for x := 0; x < n; x++ {
 			e.byBase[x] = []int{x}
 		}
-		e.stream = graph.NewEdgeStream(e.dm)
 	}
 	if cfg.EagerSort {
 		e.stream.DrainSort()
@@ -326,6 +442,11 @@ func (e *engine) run(ctx context.Context) (*graph.Tree, error) {
 		if e.c != nil {
 			e.c.StreamBatches.Add(int64(e.stream.Batches() - batches0))
 			e.c.StreamFallbacks.Add(int64(e.stream.Fallbacks() - fallbacks0))
+		}
+		// DFS stacks grow by append; hand the grown backing arrays back
+		// to the pooled scratch so the next run starts at steady state.
+		if e.scratch != nil && e.sparse {
+			e.scratch.stackNode, e.scratch.stackPar = e.stackNode, e.stackPar
 		}
 	}()
 	for len(t.Edges) < e.n-1 {
@@ -392,12 +513,22 @@ func (e *engine) feasible(ed graph.Edge) bool {
 	}
 }
 
+// srcPath returns the in-tree path length from the source to u, valid
+// only while u is in the source tree: the dense P row or the sparse
+// write-once distS entry.
+func (e *engine) srcPath(u int) float64 {
+	if e.sparse {
+		return e.distS[u]
+	}
+	return e.path(graph.Source, u)
+}
+
 // sourceMergeOK checks condition (3-a): u lies in the source tree, v in a
 // source-free tree. All nodes of t_v acquire fixed source paths
 // path(S,u) + w + path(v,y); the farthest is bounded via radius(v), the
 // nearest is v itself.
 func (e *engine) sourceMergeOK(u, v int, w float64) bool {
-	base := e.path(graph.Source, u) + w
+	base := e.srcPath(u) + w
 	if !e.b.WithinUpper(base + e.r[v]) {
 		return false
 	}
@@ -412,6 +543,9 @@ func (e *engine) sourceMergeOK(u, v int, w float64) bool {
 // radius_M is x's radius in the would-be merged tree, computable from the
 // stored P and r without performing the merge.
 func (e *engine) witnessExists(ed graph.Edge) bool {
+	if e.sparse {
+		return e.witnessExistsSparse(ed)
+	}
 	u, v, w := ed.U, ed.V, ed.W
 	// Scans are accumulated locally and flushed once per call: the
 	// witness search is the engine's hot loop, and one atomic add per
@@ -455,6 +589,10 @@ func (e *engine) witnessOK(x int, radiusM float64) bool {
 // run before the disjoint-set union so the two member lists are still
 // separate.
 func (e *engine) merge(ed graph.Edge) {
+	if e.sparse {
+		e.mergeSparse(ed)
+		return
+	}
 	u, v, w := ed.U, ed.V, ed.W
 	mu := e.ds.Members(u)
 	mv := e.ds.Members(v)

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/inst"
+)
+
+// The sparse-vs-dense pair measures what the implicit-geometry tentpole
+// buys end to end: each iteration builds the instance, its geometry
+// cache (octant index or full distance matrix), and the tree, then
+// releases the caches — so B/op is the whole pipeline's footprint. The
+// dense path allocates the O(n²) matrix and edge list; the sparse path
+// stays O(n) per node and is the only one that can run n = 10⁵ at all.
+// BENCH_PR8.json commits the recorded rows; tools/benchjson -diff gates
+// bytes/op next to time so a quadratic allocation cannot sneak back in.
+func benchmarkBKRUSGeometry(b *testing.B, nodes int, geo Geometry) {
+	rng := rand.New(rand.NewSource(29))
+	base := randomInstance(rng, nodes-1, 1000)
+	pts := base.Points()
+	src, sinks, m := pts[0], pts[1:], base.Metric()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := inst.MustNew(src, sinks, m)
+		bounds := UpperOnly(in, 2)
+		if _, err := BKRUSBuild(context.Background(), in, bounds, Config{Geometry: geo}); err != nil {
+			b.Fatal(err)
+		}
+		in.Release()
+	}
+}
+
+func BenchmarkBKRUSSparse(b *testing.B) {
+	for _, nodes := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", nodes), func(b *testing.B) { benchmarkBKRUSGeometry(b, nodes, GeomSparse) })
+	}
+}
+
+func BenchmarkBKRUSDense(b *testing.B) {
+	// n = 10⁴ dense already allocates ~800 MB of matrix per op; only the
+	// n = 10³ row is worth a committed baseline.
+	b.Run("n=1000", func(b *testing.B) { benchmarkBKRUSGeometry(b, 1000, GeomDense) })
+}

@@ -62,9 +62,20 @@ func steinerResult(st *steiner.SteinerTree, err error) (Result, error) {
 func init() {
 	// Unbounded references.
 	Register(Info{
-		Name: "mst", Kind: Spanning,
+		Name: "mst", Kind: Spanning, SparseCapable: true,
 		Doc: "minimal spanning tree (Kruskal); path lengths unbounded",
 	}, func(ctx context.Context, in *inst.Instance, p Params) (Result, error) {
+		if p.Geometry.Sparse(in.N()) {
+			// Kruskal over the octant neighbor stream selects exactly the
+			// dense MST edges (the neighbor graph contains them all, and
+			// a greedy scan over a superset of its own selection makes
+			// identical decisions) without enumerating the complete graph.
+			t, ok := mst.KruskalFrom(in.N(), graph.NewSparseEdgeStream(in.Index(), graph.Source))
+			if !ok {
+				return Result{}, fmt.Errorf("engine: sparse mst left %d of %d nodes unconnected", in.N()-1-len(t.Edges), in.N())
+			}
+			return spanning(t, nil)
+		}
 		return spanning(mst.Kruskal(in.DistMatrix()), nil)
 	})
 	Register(Info{
@@ -82,7 +93,7 @@ func init() {
 
 	// The paper's core construction and its §6 window variant.
 	Register(Info{
-		Name: "bkrus", Kind: Spanning, Needs: []string{"eps"},
+		Name: "bkrus", Kind: Spanning, Needs: []string{"eps"}, SparseCapable: true,
 		Doc: "bounded Kruskal (§3): every source-sink path ≤ (1+ε)·R",
 	}, func(ctx context.Context, in *inst.Instance, p Params) (Result, error) {
 		if err := requireNonNegative("eps", p.Eps); err != nil {
@@ -91,7 +102,7 @@ func init() {
 		return spanning(core.BKRUSBuild(ctx, in, core.UpperOnly(in, p.Eps), p.coreConfig()))
 	})
 	Register(Info{
-		Name: "bkruslu", Kind: Spanning, Needs: []string{"eps1", "eps2"},
+		Name: "bkruslu", Kind: Spanning, Needs: []string{"eps1", "eps2"}, SparseCapable: true,
 		Doc: "bounded Kruskal with the §6 window: paths in [ε1·R, (1+ε2)·R]",
 	}, func(ctx context.Context, in *inst.Instance, p Params) (Result, error) {
 		if err := requireNonNegative("eps1", p.Eps1); err != nil {

@@ -126,6 +126,64 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestConformanceGeometryAutoMatchesDense pins the PR-8 compatibility
+// satellite: at conformance scale (every fixture is far below
+// core.SparseThreshold) Geometry auto must resolve dense, so every
+// registered constructor — sparse-capable or not — produces
+// byte-identical output under auto and forced-dense parameters.
+func TestConformanceGeometryAutoMatchesDense(t *testing.T) {
+	for _, info := range List() {
+		p, ok := conformanceParams[info.Name]
+		if !ok {
+			continue
+		}
+		for _, fx := range conformanceFixtures() {
+			t.Run(info.Name+"/"+fx.name, func(t *testing.T) {
+				pa := p
+				pa.Geometry = GeomAuto
+				auto, err := Build(context.Background(), info.Name, fx.in, pa)
+				if err != nil {
+					t.Fatalf("auto build: %v", err)
+				}
+				pd := p
+				pd.Geometry = GeomDense
+				dense, err := Build(context.Background(), info.Name, fx.in, pd)
+				if err != nil {
+					t.Fatalf("dense build: %v", err)
+				}
+				if edgeString(auto) != edgeString(dense) {
+					t.Errorf("auto and dense builds differ:\n  %s\n  %s", edgeString(auto), edgeString(dense))
+				}
+			})
+		}
+	}
+}
+
+// TestSparseMSTMatchesDense forces the sparse substrate on the mst
+// constructor: Kruskal over the octant neighbor stream must reproduce
+// the dense complete-graph Kruskal byte for byte at any size (the
+// neighbor graph contains every MST edge under both metrics).
+func TestSparseMSTMatchesDense(t *testing.T) {
+	fixtures := conformanceFixtures()
+	fixtures = append(fixtures, struct {
+		name string
+		in   *inst.Instance
+	}{"rand600", bench.Random(3, 600, 100)})
+	for _, fx := range fixtures {
+		sparse, err := Build(context.Background(), "mst", fx.in, Params{Geometry: GeomSparse})
+		if err != nil {
+			t.Fatalf("%s: sparse mst: %v", fx.name, err)
+		}
+		dense, err := Build(context.Background(), "mst", fx.in, Params{Geometry: GeomDense})
+		if err != nil {
+			t.Fatalf("%s: dense mst: %v", fx.name, err)
+		}
+		if edgeString(sparse) != edgeString(dense) {
+			t.Errorf("%s: sparse and dense mst differ:\n  %s\n  %s", fx.name, edgeString(sparse), edgeString(dense))
+		}
+	}
+}
+
 func checkSpanning(t *testing.T, name string, in *inst.Instance, r Result, p Params) {
 	t.Helper()
 	if r.Tree == nil {

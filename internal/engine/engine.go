@@ -104,7 +104,26 @@ type Params struct {
 	// byte-identical either way; the knob exists for conformance tests
 	// and A/B benchmarks.
 	EagerSort bool
+	// Geometry selects the geometric substrate for the constructors that
+	// support both (Info.SparseCapable): dense materializes the distance
+	// matrix and complete edge list (the historical behaviour), sparse
+	// runs on the distance oracle and octant neighbor graph with no
+	// O(n²) state. The zero value GeomAuto resolves by instance size
+	// (core.SparseThreshold). Constructors without sparse support ignore
+	// the field and stay dense.
+	Geometry Geometry
 }
+
+// Geometry re-exports the core substrate selector so engine callers
+// need not import core for a Params field.
+type Geometry = core.Geometry
+
+// Geometry modes, re-exported from core.
+const (
+	GeomAuto   = core.GeomAuto
+	GeomDense  = core.GeomDense
+	GeomSparse = core.GeomSparse
+)
 
 // rcModel resolves the Elmore model, defaulting the zero value.
 func (p Params) rcModel() delay.Model {
@@ -117,7 +136,7 @@ func (p Params) rcModel() delay.Model {
 
 // coreConfig wires Params into the core layer's build hooks.
 func (p Params) coreConfig() core.Config {
-	cfg := core.Config{Scratch: p.Scratch, EagerSort: p.EagerSort}
+	cfg := core.Config{Scratch: p.Scratch, EagerSort: p.EagerSort, Geometry: p.Geometry}
 	if p.Obs != nil {
 		cfg.Counters = core.NewCounters(p.Obs.Scope(core.ScopeName))
 	}
@@ -170,6 +189,10 @@ type Info struct {
 	Kind  Kind
 	Needs []string
 	Doc   string
+	// SparseCapable marks constructors that honour Params.Geometry and
+	// can run on the sparse substrate (oracle + neighbor graph) without
+	// materializing the distance matrix.
+	SparseCapable bool
 }
 
 // spec is the registry's concrete Constructor.
@@ -235,6 +258,15 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// sparseCapable reports whether the named constructor honours
+// Params.Geometry (false for unknown names).
+func (r *Registry) sparseCapable(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byName[name]
+	return ok && s.info.SparseCapable
 }
 
 // List returns every registration's Info, sorted by name.

@@ -73,17 +73,34 @@ func (r *Registry) SweepParallel(ctx context.Context, name string, in *inst.Inst
 	if err != nil {
 		return nil, err
 	}
+	// While validating cells, classify which geometry caches the sweep
+	// will touch: only a sweep whose every cell resolves sparse on a
+	// sparse-capable constructor can skip the O(n²) matrix.
+	capable := r.sparseCapable(name)
+	needDense, needSparse := !capable, false
+	//lint:ignore ctxpoll cell validation is O(sweep cells) with constant per-cell work, bounded by the caller's sweep width, not instance size
 	for i := range ps {
 		if ps[i].Scratch != nil {
 			return nil, fmt.Errorf("engine: parallel sweep %s[%d]: Params.Scratch must be nil (scratches are per-worker)", name, i)
+		}
+		if capable && ps[i].Geometry.Sparse(in.N()) {
+			needSparse = true
+		} else {
+			needDense = true
 		}
 	}
 	if len(ps) == 0 {
 		return []Result{}, nil
 	}
-	// The instance caches its distance matrix lazily and that first
-	// build is not safe for concurrent use; force it before fan-out.
-	in.DistMatrix()
+	// The instance builds its geometry caches lazily and those first
+	// builds are not safe for concurrent use; force the ones the cells
+	// resolved to before fan-out.
+	if needDense {
+		in.DistMatrix()
+	}
+	if needSparse {
+		in.Index() //lint:ignore ctxflow pre-fan-out geometry force, same contract as the DistMatrix line above: one bounded O(n·√n)-expected build before any cell launches
+	}
 
 	w := opt.workers(len(ps))
 	ctx, stop := context.WithCancel(ctx)

@@ -63,6 +63,7 @@ func Figure9(cfg Config) error {
 			perf, pr := ratios(t, in, mstCostOf(in))
 			cost.Add(perf)
 			path.Add(pr)
+			in.Release() // drop the per-case geometry caches before the next case
 		}
 		tb.AddRow(epsLabel(eps), path.Mean(), cost.Mean())
 	}
@@ -98,6 +99,7 @@ func Figure10(cfg Config) error {
 			exMST.Add(ex.Cost() / mstCost)
 			krEX.Add(kr.Cost() / ex.Cost())
 			h2EX.Add(h2.Cost() / ex.Cost())
+			in.Release()
 		}
 		tb.AddRow(epsLabel(eps), krMST.Mean(), exMST.Mean(), krEX.Mean(), h2EX.Mean())
 	}
@@ -140,6 +142,7 @@ func Figure11(cfg Config) error {
 		if t, err := cfg.spanning("maxst", in, engine.Params{}); err == nil {
 			maxst.Add(t.Cost() / mstCost)
 		}
+		in.Release()
 	}
 	tb.AddRow("BKST (Steiner)", st.Mean())
 	tb.AddRow("MST (unbounded)", 1.0)

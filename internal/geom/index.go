@@ -1,0 +1,371 @@
+package geom
+
+// This file implements the sparse-geometry substrate: a grid-bucketed
+// point index answering octant nearest-neighbor queries. The index
+// replaces the O(n²) distance matrix for large instances: instead of
+// materializing every pairwise distance, each point stores its nearest
+// neighbor in each of eight 45° sectors (octants) around it.
+//
+// Exactness: the octant neighbor graph contains the minimum spanning
+// tree under both supported metrics. For L2 this is the classical Yao
+// construction — each sector spans 45° < 60°, so for any two points u,v
+// in a common sector of u with dist(u,x) ≤ dist(u,v) the third side
+// satisfies dist(x,v) < dist(u,v), and the cycle property lets the MST
+// swap (u,v) for the sector-nearest edge. For L1 the same eight-sector
+// decomposition is the Guibas–Stolfi octant partition used by
+// rectilinear MST algorithms: within a sector, the L1-nearest point
+// "dominates" the rest, giving the identical exchange argument. Either
+// way Kruskal over the octant graph reproduces the dense MST edge for
+// edge (DESIGN.md §13 spells the argument out; the property tests in
+// internal/core pin it empirically for both metrics).
+//
+// The search is a ring expansion over grid cells: for point u the scan
+// visits cells in increasing Chebyshev ring order and stops an octant
+// as soon as the ring's minimum possible distance exceeds the octant's
+// current best (or the octant's dominant-axis cutoff proves it empty).
+// Uniform instances touch O(1) cells per point; the worst case
+// (all points in one cell) degrades to the brute-force scan, never to
+// an incorrect answer.
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// ScopeName is the obs scope the geometry layer records into.
+// Index construction accumulates its search-effort counters there when
+// a process-wide registry is installed (obs.SetDefault).
+const ScopeName = "geom"
+
+// Counter names of the geom scope, as they appear in a -metrics JSON
+// report. OBSERVABILITY.md is the catalogue.
+const (
+	// CtrGridProbes counts grid cells visited by octant-neighbor ring
+	// searches.
+	CtrGridProbes = "grid_probes"
+	// CtrOctantCandidates counts candidate points tested during
+	// octant-neighbor searches.
+	CtrOctantCandidates = "octant_candidates"
+)
+
+// Octants is the number of 45° sectors the plane is split into around
+// each point. Eight sectors of 45° (< 60°) are what make the neighbor
+// graph MST-exact for both metrics.
+const Octants = 8
+
+// Index is a grid-bucketed point index with precomputed octant nearest
+// neighbors. Build one with NewIndex; the zero value is unusable. The
+// index keeps a reference to the point slice it was built over, which
+// must not be mutated afterwards. An Index is immutable after
+// construction and safe for concurrent reads.
+type Index struct {
+	pts []Point
+	m   Metric
+
+	bb           BBox
+	nx, ny       int
+	cellW, cellH float64
+	minSide      float64 // min(cellW, cellH): ring-distance lower bound unit
+
+	start []int32 // CSR cell offsets, len nx*ny+1
+	ids   []int32 // point ids, bucket-major, ascending within a cell
+
+	nbr  []int32   // nbr[Octants*i+o] = nearest point in octant o of i, -1 if empty
+	nbrD []float64 // nbrD[Octants*i+o] = its distance
+
+	probes     int64 // grid cells visited across all searches
+	candidates int64 // candidate points tested across all searches
+}
+
+// NewIndex builds the grid index and precomputes every point's octant
+// nearest neighbors under m. Construction is O(n) expected for
+// uniformly distributed points. The pts slice is referenced, not
+// copied.
+func NewIndex(pts []Point, m Metric) *Index {
+	n := len(pts)
+	ix := &Index{pts: pts, m: m}
+	if n == 0 {
+		return ix
+	}
+	ix.bb = Bounds(pts)
+	g := int(math.Ceil(math.Sqrt(float64(n))))
+	if g < 1 {
+		g = 1
+	}
+	ix.nx, ix.ny = g, g
+	if ix.bb.Width() <= 0 {
+		ix.nx = 1
+	}
+	if ix.bb.Height() <= 0 {
+		ix.ny = 1
+	}
+	ix.cellW = ix.bb.Width() / float64(ix.nx)
+	if ix.cellW <= 0 {
+		ix.cellW = 1
+	}
+	ix.cellH = ix.bb.Height() / float64(ix.ny)
+	if ix.cellH <= 0 {
+		ix.cellH = 1
+	}
+	ix.minSide = math.Min(ix.cellW, ix.cellH)
+
+	// CSR bucket fill: count, prefix-sum, place. Iterating ids in
+	// ascending order keeps each bucket sorted by id, so the scan order
+	// (and with it every tie-break) is a pure function of the data.
+	cells := ix.nx * ix.ny
+	ix.start = make([]int32, cells+1)
+	for i := 0; i < n; i++ {
+		ix.start[ix.cellOf(pts[i])+1]++
+	}
+	for c := 0; c < cells; c++ {
+		ix.start[c+1] += ix.start[c]
+	}
+	ix.ids = make([]int32, n)
+	next := make([]int32, cells)
+	copy(next, ix.start[:cells])
+	for i := 0; i < n; i++ {
+		c := ix.cellOf(pts[i])
+		ix.ids[next[c]] = int32(i)
+		next[c]++
+	}
+
+	ix.nbr = make([]int32, Octants*n)
+	ix.nbrD = make([]float64, Octants*n)
+	for i := 0; i < n; i++ {
+		ix.searchOctants(i)
+	}
+
+	// Opportunistic instrumentation, mirroring the core scope: flush the
+	// construction's search effort into the process default registry when
+	// one is installed.
+	if sc := obs.DefaultScope(ScopeName); sc != nil {
+		sc.Counter(CtrGridProbes).Add(ix.probes)
+		sc.Counter(CtrOctantCandidates).Add(ix.candidates)
+	}
+	return ix
+}
+
+// cellOf maps a point to its grid cell, clamped to the grid.
+func (ix *Index) cellOf(p Point) int {
+	cx := int((p.X - ix.bb.MinX) / ix.cellW)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= ix.nx {
+		cx = ix.nx - 1
+	}
+	cy := int((p.Y - ix.bb.MinY) / ix.cellH)
+	if cy < 0 {
+		cy = 0
+	} else if cy >= ix.ny {
+		cy = ix.ny - 1
+	}
+	return cy*ix.nx + cx
+}
+
+// octant classifies direction (dx,dy) into one of eight half-open 45°
+// sectors counted counterclockwise from the positive x axis: sector o
+// covers angles [o·45°, (o+1)·45°). Coincident points (dx = dy = 0)
+// land in sector 3; their distance is 0, so they are found immediately
+// wherever they are filed. Exact float comparison is deliberate: the
+// sectors must partition the plane, and geom is the one package where
+// exact comparison is the contract.
+func octant(dx, dy float64) int {
+	if dy < 0 || (dy == 0 && dx < 0) {
+		return 4 + octant(-dx, -dy)
+	}
+	switch {
+	case dx > 0 && dy < dx: // [0°, 45°)
+		return 0
+	case dx > 0: // [45°, 90°)
+		return 1
+	case dy > -dx: // [90°, 135°)
+		return 2
+	default: // [135°, 180°)
+		return 3
+	}
+}
+
+// searchOctants fills the eight octant-nearest slots of point i via a
+// clamped ring expansion over the grid.
+func (ix *Index) searchOctants(i int) {
+	u := ix.pts[i]
+	var bestD [Octants]float64
+	var bestID [Octants]int32
+	for o := 0; o < Octants; o++ {
+		bestD[o] = math.Inf(1)
+		bestID[o] = -1
+	}
+	// cutoff[o] bounds the distance of every point that can fall in
+	// octant o: the sector's dominant axis displacement is at most the
+	// bounding-box extent that way, and both metrics satisfy
+	// dist ≤ 2·|dominant displacement|.
+	var cutoff [Octants]float64
+	xPos := 2 * (ix.bb.MaxX - u.X)
+	xNeg := 2 * (u.X - ix.bb.MinX)
+	yPos := 2 * (ix.bb.MaxY - u.Y)
+	yNeg := 2 * (u.Y - ix.bb.MinY)
+	cutoff[0], cutoff[7] = xPos, xPos
+	cutoff[1], cutoff[2] = yPos, yPos
+	cutoff[3], cutoff[4] = xNeg, xNeg
+	cutoff[5], cutoff[6] = yNeg, yNeg
+
+	ucx := ix.clampX(int((u.X - ix.bb.MinX) / ix.cellW))
+	ucy := ix.clampY(int((u.Y - ix.bb.MinY) / ix.cellH))
+	maxRing := ix.nx + ix.ny + 2 // safety: past this every cell is out of range
+	for r := 0; r <= maxRing; r++ {
+		// Any point in Chebyshev cell-ring r is displaced at least r-1
+		// whole cells along some axis, hence at least (r-1)·minSide in
+		// either metric.
+		ringMin := float64(r-1) * ix.minSide
+		if r <= 1 {
+			ringMin = 0
+		}
+		done := true
+		for o := 0; o < Octants; o++ {
+			if ringMin > cutoff[o] {
+				continue // octant provably holds no point this far out
+			}
+			if bestID[o] >= 0 && ringMin > bestD[o] {
+				continue // current best beats everything in this ring onward
+			}
+			done = false
+			break
+		}
+		if done {
+			break
+		}
+		ix.scanRing(i, u, ucx, ucy, r, &bestD, &bestID)
+	}
+	for o := 0; o < Octants; o++ {
+		ix.nbr[Octants*i+o] = bestID[o]
+		ix.nbrD[Octants*i+o] = bestD[o]
+	}
+}
+
+func (ix *Index) clampX(cx int) int {
+	if cx < 0 {
+		return 0
+	}
+	if cx >= ix.nx {
+		return ix.nx - 1
+	}
+	return cx
+}
+
+func (ix *Index) clampY(cy int) int {
+	if cy < 0 {
+		return 0
+	}
+	if cy >= ix.ny {
+		return ix.ny - 1
+	}
+	return cy
+}
+
+// scanRing visits every in-grid cell at Chebyshev distance exactly r
+// from cell (ucx,ucy) and folds its points into the octant bests.
+func (ix *Index) scanRing(i int, u Point, ucx, ucy, r int, bestD *[Octants]float64, bestID *[Octants]int32) {
+	if r == 0 {
+		ix.scanCell(i, u, ucx, ucy, bestD, bestID)
+		return
+	}
+	x0, x1 := ucx-r, ucx+r
+	y0, y1 := ucy-r, ucy+r
+	// Top and bottom rows of the ring (full width, clamped).
+	for _, cy := range [2]int{y0, y1} {
+		if cy < 0 || cy >= ix.ny {
+			continue
+		}
+		for cx := maxIntGeom(x0, 0); cx <= minIntGeom(x1, ix.nx-1); cx++ {
+			ix.scanCell(i, u, cx, cy, bestD, bestID)
+		}
+	}
+	// Left and right columns, excluding the corners already visited.
+	for _, cx := range [2]int{x0, x1} {
+		if cx < 0 || cx >= ix.nx {
+			continue
+		}
+		for cy := maxIntGeom(y0+1, 0); cy <= minIntGeom(y1-1, ix.ny-1); cy++ {
+			ix.scanCell(i, u, cx, cy, bestD, bestID)
+		}
+	}
+}
+
+// scanCell tests every point of cell (cx,cy) against point i's octant
+// bests. Ties on distance break toward the smaller id, so the result is
+// independent of the order cells happen to be scanned in.
+func (ix *Index) scanCell(i int, u Point, cx, cy int, bestD *[Octants]float64, bestID *[Octants]int32) {
+	ix.probes++
+	c := cy*ix.nx + cx
+	for k := ix.start[c]; k < ix.start[c+1]; k++ {
+		j := ix.ids[k]
+		if int(j) == i {
+			continue
+		}
+		ix.candidates++
+		q := ix.pts[j]
+		o := octant(q.X-u.X, q.Y-u.Y)
+		d := ix.m.Dist(u, q)
+		if d < bestD[o] || (d == bestD[o] && j < bestID[o]) {
+			bestD[o] = d
+			bestID[o] = j
+		}
+	}
+}
+
+func maxIntGeom(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minIntGeom(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// Metric returns the metric the index answers distances under.
+func (ix *Index) Metric() Metric { return ix.m }
+
+// Point returns the location of point i.
+func (ix *Index) Point(i int) Point { return ix.pts[i] }
+
+// Dist returns the metric distance between points i and j, computed on
+// demand — the oracle counterpart of DistMatrix.At.
+func (ix *Index) Dist(i, j int) float64 { return ix.m.Dist(ix.pts[i], ix.pts[j]) }
+
+// Neighbor returns point i's nearest neighbor in octant o (0..7) and
+// the distance to it. ok is false when the octant is empty.
+func (ix *Index) Neighbor(i, o int) (j int, d float64, ok bool) {
+	id := ix.nbr[Octants*i+o]
+	if id < 0 {
+		return -1, math.Inf(1), false
+	}
+	return int(id), ix.nbrD[Octants*i+o], true
+}
+
+// Probes returns the total number of grid cells visited while building
+// the octant neighbor lists.
+func (ix *Index) Probes() int64 { return ix.probes }
+
+// Candidates returns the total number of candidate points tested while
+// building the octant neighbor lists.
+func (ix *Index) Candidates() int64 { return ix.candidates }
+
+// MemBytes estimates the heap bytes retained by the index, excluding
+// the point slice it references (the owning instance accounts for
+// that).
+func (ix *Index) MemBytes() int64 {
+	return int64(cap(ix.start))*4 + int64(cap(ix.ids))*4 +
+		int64(cap(ix.nbr))*4 + int64(cap(ix.nbrD))*8
+}
+
+// MemBytes estimates the heap bytes retained by the matrix.
+func (dm *DistMatrix) MemBytes() int64 { return int64(cap(dm.d)) * 8 }

@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randIndexPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return pts
+}
+
+// bruteOctantNearest recomputes point i's octant-nearest table by
+// scanning every other point, with the same (distance, id) tie-break
+// the index promises.
+func bruteOctantNearest(pts []Point, m Metric, i int) ([Octants]int32, [Octants]float64) {
+	var bestID [Octants]int32
+	var bestD [Octants]float64
+	for o := 0; o < Octants; o++ {
+		bestID[o] = -1
+		bestD[o] = math.Inf(1)
+	}
+	for j := range pts {
+		if j == i {
+			continue
+		}
+		o := octant(pts[j].X-pts[i].X, pts[j].Y-pts[i].Y)
+		d := m.Dist(pts[i], pts[j])
+		if d < bestD[o] || (d == bestD[o] && int32(j) < bestID[o]) {
+			bestD[o] = d
+			bestID[o] = int32(j)
+		}
+	}
+	return bestID, bestD
+}
+
+func TestIndexOctantNearestMatchesBruteForce(t *testing.T) {
+	for _, m := range []Metric{Manhattan, Euclidean} {
+		for _, n := range []int{1, 2, 3, 10, 57, 200} {
+			rng := rand.New(rand.NewSource(int64(31*n) + int64(m)))
+			pts := randIndexPoints(rng, n)
+			ix := NewIndex(pts, m)
+			for i := 0; i < n; i++ {
+				wantID, wantD := bruteOctantNearest(pts, m, i)
+				for o := 0; o < Octants; o++ {
+					j, d, ok := ix.Neighbor(i, o)
+					if ok != (wantID[o] >= 0) || (ok && (int32(j) != wantID[o] || d != wantD[o])) {
+						t.Fatalf("%v n=%d point %d octant %d: got (%d,%g,%v) want (%d,%g)",
+							m, n, i, o, j, d, ok, wantID[o], wantD[o])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexDegenerateLayouts covers collapsed bounding boxes: collinear
+// point sets have zero extent on one axis and must still index cleanly.
+func TestIndexDegenerateLayouts(t *testing.T) {
+	layouts := map[string][]Point{
+		"horizontal": {{0, 5}, {1, 5}, {2, 5}, {9, 5}},
+		"vertical":   {{3, 0}, {3, 2}, {3, 7}, {3, 8}},
+		"single":     {{4, 4}},
+		"coincident": {{1, 1}, {1, 1}, {1, 1}},
+	}
+	for name, pts := range layouts {
+		for _, m := range []Metric{Manhattan, Euclidean} {
+			ix := NewIndex(pts, m)
+			for i := range pts {
+				wantID, wantD := bruteOctantNearest(pts, m, i)
+				for o := 0; o < Octants; o++ {
+					j, d, ok := ix.Neighbor(i, o)
+					if ok != (wantID[o] >= 0) || (ok && (int32(j) != wantID[o] || d != wantD[o])) {
+						t.Fatalf("%s %v point %d octant %d: got (%d,%g,%v) want (%d,%g)",
+							name, m, i, o, j, d, ok, wantID[o], wantD[o])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOctantPartition checks the eight sectors partition every
+// direction: the classifier must return exactly one sector in 0..7 and
+// be antipodally consistent (octant(-v) = octant(v)+4 mod 8).
+func TestOctantPartition(t *testing.T) {
+	dirs := []struct{ dx, dy float64 }{
+		{1, 0}, {1, 0.5}, {1, 1}, {0.5, 1}, {0, 1}, {-0.5, 1}, {-1, 1}, {-1, 0.5},
+		{-1, 0}, {-1, -0.5}, {-1, -1}, {-0.5, -1}, {0, -1}, {0.5, -1}, {1, -1}, {1, -0.5},
+	}
+	for k, d := range dirs {
+		o := octant(d.dx, d.dy)
+		if o < 0 || o >= Octants {
+			t.Fatalf("octant(%g,%g) = %d out of range", d.dx, d.dy, o)
+		}
+		if want := k / 2; o != want {
+			t.Fatalf("octant(%g,%g) = %d, want %d", d.dx, d.dy, o, want)
+		}
+		if anti := octant(-d.dx, -d.dy); anti != (o+4)%Octants {
+			t.Fatalf("octant antipode of (%g,%g): got %d want %d", d.dx, d.dy, anti, (o+4)%Octants)
+		}
+	}
+}
+
+func TestIndexCountersAndMemBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := randIndexPoints(rng, 64)
+	ix := NewIndex(pts, Euclidean)
+	if ix.Probes() <= 0 || ix.Candidates() <= 0 {
+		t.Fatalf("expected positive search counters, got probes=%d candidates=%d", ix.Probes(), ix.Candidates())
+	}
+	if ix.MemBytes() <= 0 {
+		t.Fatalf("expected positive MemBytes, got %d", ix.MemBytes())
+	}
+	if ix.Len() != 64 || !ix.Metric().Valid() {
+		t.Fatalf("accessor mismatch: len=%d metric=%v", ix.Len(), ix.Metric())
+	}
+	if d := ix.Dist(0, 1); d != Euclidean.Dist(pts[0], pts[1]) {
+		t.Fatalf("Dist oracle mismatch: %g", d)
+	}
+}

@@ -14,11 +14,13 @@ import (
 
 // Instance is an immutable routing problem: a signal source driving a set
 // of sinks on a metric plane. Construct with New; the zero value is not
-// usable.
+// usable. The terminal set and metric never change; the distance matrix
+// and geometric index are lazily built caches, droppable with Release.
 type Instance struct {
 	pts    []geom.Point // pts[0] = source
 	metric geom.Metric
-	dm     *geom.DistMatrix // lazily built
+	dm     *geom.DistMatrix // lazily built (dense mode)
+	idx    *geom.Index      // lazily built (sparse mode)
 	r      float64          // farthest source-to-sink distance (the paper's R)
 	nearR  float64          // nearest source-to-sink distance (the paper's r)
 }
@@ -99,6 +101,71 @@ func (in *Instance) DistMatrix() *geom.DistMatrix {
 		in.dm = geom.NewDistMatrix(in.pts, in.metric)
 	}
 	return in.dm
+}
+
+// Dist returns the metric distance between terminals i and j, computed
+// on demand from the coordinates. The value is bit-identical to
+// DistMatrix().At(i, j) — both evaluate the same metric on the same
+// points — but touches no O(n²) state.
+func (in *Instance) Dist(i, j int) float64 {
+	return in.metric.Dist(in.pts[i], in.pts[j])
+}
+
+// Oracle is a zero-materialization distance oracle over an instance's
+// terminals. It satisfies graph.Weights structurally, so every consumer
+// of a DistMatrix can run off an Oracle instead: At is an O(1) metric
+// evaluation, bit-identical to the matrix entry, with no n×n backing
+// store. The zero value is unusable; obtain one from Instance.Oracle.
+type Oracle struct {
+	pts []geom.Point
+	m   geom.Metric
+}
+
+// At returns the distance between terminals i and j.
+func (o Oracle) At(i, j int) float64 { return o.m.Dist(o.pts[i], o.pts[j]) }
+
+// Len returns the number of terminals.
+func (o Oracle) Len() int { return len(o.pts) }
+
+// Oracle returns the instance's on-demand distance oracle. Unlike
+// DistMatrix this allocates nothing and is always safe for concurrent
+// use.
+func (in *Instance) Oracle() Oracle {
+	return Oracle{pts: in.pts, m: in.metric}
+}
+
+// Index returns the instance's grid-bucketed octant neighbor index,
+// building and caching it on first use. Like DistMatrix, the first
+// build is not safe for concurrent use; share the instance only after
+// the index exists (or call Index once up front).
+func (in *Instance) Index() *geom.Index {
+	if in.idx == nil {
+		in.idx = geom.NewIndex(in.pts, in.metric)
+	}
+	return in.idx
+}
+
+// Release drops the instance's lazy geometry caches — the O(n²)
+// distance matrix and the octant index — mirroring core.Scratch.Release
+// for sweep teardown. The terminals and precomputed radii survive, so
+// the instance stays fully usable; the caches rebuild on next demand.
+func (in *Instance) Release() {
+	in.dm = nil
+	in.idx = nil
+}
+
+// MemBytes estimates the heap bytes retained by the instance: the
+// terminal slice plus whichever lazy geometry caches currently exist.
+// Byte-accounted caches (internal/serve) use this to decide eviction.
+func (in *Instance) MemBytes() int64 {
+	b := int64(cap(in.pts)) * 16
+	if in.dm != nil {
+		b += in.dm.MemBytes()
+	}
+	if in.idx != nil {
+		b += in.idx.MemBytes()
+	}
+	return b
 }
 
 // R returns the direct distance from the source to the farthest sink —

@@ -107,3 +107,42 @@ func TestNewRejectsNonFinite(t *testing.T) {
 		}
 	}
 }
+
+func TestOracleMatchesMatrix(t *testing.T) {
+	in := MustNew(geom.Point{}, []geom.Point{{X: 1, Y: 2}, {X: 4, Y: 1}, {X: 3, Y: 3}}, geom.Euclidean)
+	o := in.Oracle()
+	dm := in.DistMatrix()
+	if o.Len() != dm.Len() {
+		t.Fatalf("oracle len %d, matrix len %d", o.Len(), dm.Len())
+	}
+	for i := 0; i < o.Len(); i++ {
+		for j := 0; j < o.Len(); j++ {
+			if o.At(i, j) != dm.At(i, j) || in.Dist(i, j) != dm.At(i, j) {
+				t.Fatalf("oracle/matrix mismatch at (%d,%d): %g vs %g", i, j, o.At(i, j), dm.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIndexCachedAndReleased(t *testing.T) {
+	in := MustNew(geom.Point{}, []geom.Point{{X: 1, Y: 0}, {X: 2, Y: 5}}, geom.Manhattan)
+	ix1 := in.Index()
+	if ix1 != in.Index() {
+		t.Fatal("Index should be cached")
+	}
+	dm1 := in.DistMatrix()
+	base := in.MemBytes()
+	if base <= 0 {
+		t.Fatalf("MemBytes = %d, want > 0", base)
+	}
+	in.Release()
+	if got := in.MemBytes(); got >= base {
+		t.Fatalf("Release did not shrink MemBytes: %d -> %d", base, got)
+	}
+	if in.Index() == ix1 || in.DistMatrix() == dm1 {
+		t.Fatal("Release should drop cached geometry")
+	}
+	if in.N() != 3 || in.R() != 7 {
+		t.Fatalf("Release must not touch terminals/radii: n=%d R=%g", in.N(), in.R())
+	}
+}

@@ -41,6 +41,35 @@ func KruskalEdges(n int, sorted []graph.Edge) (*graph.Tree, bool) {
 	return t, false
 }
 
+// KruskalFrom runs Kruskal over an ordered edge sequence (graph.EdgeSeq
+// yields nondecreasing weight order) instead of a materialized sorted
+// slice. It reports false if the sequence does not connect all n nodes.
+// Fed a lazy stream over the sparse octant neighbor edge set
+// (graph.NewSparseEdgeStream), this reproduces Kruskal(w) exactly — the
+// neighbor graph contains every dense-selected MST edge, and a greedy
+// scan over a superset of its own selection makes identical accept
+// decisions — without ever enumerating the complete graph.
+func KruskalFrom(n int, seq graph.EdgeSeq) (*graph.Tree, bool) {
+	t := graph.NewTree(n)
+	if n <= 1 {
+		return t, true
+	}
+	ds := graph.NewDisjointSet(n)
+	for {
+		e, ok := seq.Next()
+		if !ok {
+			break
+		}
+		if ds.Union(e.U, e.V) {
+			t.Edges = append(t.Edges, e)
+			if len(t.Edges) == n-1 {
+				return t, true
+			}
+		}
+	}
+	return t, false
+}
+
 // Prim returns a minimal spanning tree grown from root over the complete
 // graph of w, using the O(V^2) dense-graph variant.
 func Prim(w graph.Weights, root int) *graph.Tree {

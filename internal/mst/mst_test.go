@@ -54,6 +54,53 @@ func TestKruskalEdgesDisconnected(t *testing.T) {
 	}
 }
 
+func TestKruskalFromMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, m := range []geom.Metric{geom.Manhattan, geom.Euclidean} {
+		for _, n := range []int{1, 2, 3, 40, 200} {
+			pts := randomPoints(rng, n, 100)
+			dm := geom.NewDistMatrix(pts, m)
+			want := Kruskal(dm)
+
+			// Fed the complete graph's lazy stream, KruskalFrom is Kruskal.
+			got, ok := KruskalFrom(n, graph.NewEdgeStream(dm))
+			if !ok {
+				t.Fatalf("%v n=%d: complete stream reported disconnected", m, n)
+			}
+			if len(got.Edges) != len(want.Edges) {
+				t.Fatalf("%v n=%d: %d edges, want %d", m, n, len(got.Edges), len(want.Edges))
+			}
+			for k := range want.Edges {
+				if got.Edges[k] != want.Edges[k] {
+					t.Fatalf("%v n=%d edge %d: got %v, want %v", m, n, k, got.Edges[k], want.Edges[k])
+				}
+			}
+
+			// Fed the sparse octant neighbor stream, it still is: the
+			// neighbor graph contains every MST edge (Yao / Guibas–Stolfi)
+			// and a greedy scan over a superset of its own selection makes
+			// identical decisions.
+			ix := geom.NewIndex(pts, m)
+			sp, ok := KruskalFrom(n, graph.NewSparseEdgeStream(ix, 0))
+			if !ok {
+				t.Fatalf("%v n=%d: sparse stream reported disconnected", m, n)
+			}
+			for k := range want.Edges {
+				if sp.Edges[k] != want.Edges[k] {
+					t.Fatalf("%v n=%d sparse edge %d: got %v, want %v", m, n, k, sp.Edges[k], want.Edges[k])
+				}
+			}
+		}
+	}
+}
+
+func TestKruskalFromDisconnected(t *testing.T) {
+	seq := graph.NewEdgeStreamFrom([]graph.Edge{{U: 0, V: 1, W: 1}})
+	if _, ok := KruskalFrom(3, seq); ok {
+		t.Error("disconnected stream should report false")
+	}
+}
+
 func TestPrimMatchesKruskalCost(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 20; trial++ {

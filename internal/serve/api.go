@@ -37,7 +37,7 @@ type NetRequest struct {
 	// "net <index>".
 	Name string `json:"name,omitempty"`
 	// Metric is "l1"/"manhattan" (default) or "l2"/"euclidean".
-	Metric string `json:"metric,omitempty"`
+	Metric string  `json:"metric,omitempty"`
 	Source Point   `json:"source"`
 	Sinks  []Point `json:"sinks"`
 	// Algo is a constructor name from the engine registry (GET

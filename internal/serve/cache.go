@@ -19,10 +19,15 @@ import (
 // matrix build — so concurrent requests for the same point set queue on
 // the entry instead of re-sorting the edge list each.
 type cacheEntry struct {
-	hash    uint64
-	metric  geom.Metric
-	pts     []geom.Point // full key material; hash collisions compare here
+	hash   uint64
+	metric geom.Metric
+	pts    []geom.Point // full key material; hash collisions compare here
+	// elem and bytes are cache bookkeeping, touched only under the
+	// cache's mutex. elem is nil once the entry is evicted (or was never
+	// resident), which is how reaccount knows to leave the byte total
+	// alone.
 	elem    *list.Element
+	bytes   int64
 	mu      sync.Mutex
 	in      *inst.Instance
 	scratch core.Scratch
@@ -31,22 +36,29 @@ type cacheEntry struct {
 // instCache is the LRU instance cache keyed by point-set hash. Repeated
 // requests for the same (metric, source, sinks) re-serve one
 // cacheEntry, so the drained sorted-edge prefix and the grown P-matrix
-// survive across requests. Capacity counts entries; each entry pins
-// O(n²) edge state, so the default is deliberately modest. A capacity
-// <= 0 disables residency: lookups still return a private entry (the
-// build path is uniform) but nothing is retained.
+// survive across requests. Capacity counts entries; capBytes
+// additionally bounds the accounted resident bytes (instance geometry
+// caches plus scratch buffers, re-measured after every build), because
+// entries are wildly unequal — one n=2048 dense entry outweighs
+// thousands of small nets. capBytes <= 0 means unbounded, the
+// historical entry-count-only behavior. A capacity <= 0 disables
+// residency: lookups still return a private entry (the build path is
+// uniform) but nothing is retained.
 type instCache struct {
-	mu   sync.Mutex
-	cap  int
-	ents map[uint64][]*cacheEntry
-	lru  *list.List // front = most recent; values are *cacheEntry
+	mu       sync.Mutex
+	cap      int
+	capBytes int64
+	total    int64 // accounted bytes across resident entries
+	ents     map[uint64][]*cacheEntry
+	lru      *list.List // front = most recent; values are *cacheEntry
 }
 
-func newInstCache(capacity int) *instCache {
+func newInstCache(capacity int, capBytes int64) *instCache {
 	return &instCache{
-		cap:  capacity,
-		ents: map[uint64][]*cacheEntry{},
-		lru:  list.New(),
+		cap:      capacity,
+		capBytes: capBytes,
+		ents:     map[uint64][]*cacheEntry{},
+		lru:      list.New(),
 	}
 }
 
@@ -141,7 +153,38 @@ func (c *instCache) lookup(m geom.Metric, source geom.Point, sinks []geom.Point)
 	for c.lru.Len() > c.cap {
 		c.evictOldestLocked()
 	}
+	c.shedBytesLocked()
 	return e, false, nil
+}
+
+// reaccount records the entry's measured resident size and sheds
+// least-recently-used entries while the byte total is over budget. The
+// caller holds entry.mu (so the measurement is stable); the lock order
+// entry.mu → cache.mu is the only nesting of the two and lookup takes
+// cache.mu alone, so the pair stays acyclic. Evicted and private
+// entries (elem == nil) are not accounted.
+func (c *instCache) reaccount(e *cacheEntry, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.elem == nil {
+		return
+	}
+	c.total += bytes - e.bytes
+	e.bytes = bytes
+	c.shedBytesLocked()
+}
+
+// shedBytesLocked evicts from the cold end until the byte budget holds.
+// The most recent entry always stays resident: it is the one a request
+// is (or just was) building with, and evicting it would only thrash —
+// the bytes are live in the holder's hands regardless.
+func (c *instCache) shedBytesLocked() {
+	if c.capBytes <= 0 {
+		return
+	}
+	for c.total > c.capBytes && c.lru.Len() > 1 {
+		c.evictOldestLocked()
+	}
 }
 
 // evictOldestLocked drops the least recently used entry. The entry is
@@ -154,6 +197,8 @@ func (c *instCache) evictOldestLocked() {
 		return
 	}
 	old := c.lru.Remove(back).(*cacheEntry)
+	c.total -= old.bytes
+	old.elem = nil
 	bucket := c.ents[old.hash]
 	for i, cand := range bucket {
 		if cand == old {
@@ -173,4 +218,11 @@ func (c *instCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// bytes returns the accounted resident byte total.
+func (c *instCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
 }

@@ -2,12 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
+	"math/rand"
+	"net/http"
 	"testing"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 func pts(xy ...float64) []geom.Point {
@@ -19,7 +23,7 @@ func pts(xy ...float64) []geom.Point {
 }
 
 func TestCacheHitAndEviction(t *testing.T) {
-	c := newInstCache(2)
+	c := newInstCache(2, 0)
 	src := geom.Point{}
 	a := pts(1, 1, 2, 2)
 	b := pts(3, 3, 4, 4)
@@ -58,7 +62,7 @@ func TestCacheHitAndEviction(t *testing.T) {
 }
 
 func TestCacheMetricSeparatesEntries(t *testing.T) {
-	c := newInstCache(4)
+	c := newInstCache(4, 0)
 	src := geom.Point{}
 	sinks := pts(1, 2, 3, 4)
 	e1, _, _ := c.lookup(geom.Manhattan, src, sinks)
@@ -69,7 +73,7 @@ func TestCacheMetricSeparatesEntries(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := newInstCache(0)
+	c := newInstCache(0, 0)
 	src := geom.Point{}
 	sinks := pts(1, 1)
 	e1, hit, err := c.lookup(geom.Manhattan, src, sinks)
@@ -85,7 +89,7 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestCacheBitExactKey(t *testing.T) {
-	c := newInstCache(4)
+	c := newInstCache(4, 0)
 	src := geom.Point{}
 	_, _, err := c.lookup(geom.Manhattan, src, pts(1, math.Copysign(0, -1)))
 	if err != nil {
@@ -99,7 +103,7 @@ func TestCacheBitExactKey(t *testing.T) {
 }
 
 func TestCacheRejectsBadNet(t *testing.T) {
-	c := newInstCache(4)
+	c := newInstCache(4, 0)
 	// Non-finite coordinate: inst.New must reject it and the cache must
 	// stay empty.
 	if _, _, err := c.lookup(geom.Manhattan, geom.Point{X: 1, Y: 1}, pts(math.NaN(), 2)); err == nil {
@@ -107,6 +111,110 @@ func TestCacheRejectsBadNet(t *testing.T) {
 	}
 	if c.len() != 0 {
 		t.Errorf("failed lookup left %d entries resident", c.len())
+	}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	c := newInstCache(16, 100)
+	src := geom.Point{}
+	a := pts(1, 1)
+	b := pts(2, 2)
+	d := pts(3, 3)
+
+	ea, _, _ := c.lookup(geom.Manhattan, src, a)
+	c.reaccount(ea, 60)
+	eb, _, _ := c.lookup(geom.Manhattan, src, b)
+	c.reaccount(eb, 60)
+	// 120 > 100: a (older) must go, b stays, total drops to b's share.
+	if got := c.bytes(); got != 60 {
+		t.Fatalf("bytes = %d, want 60 after shedding a", got)
+	}
+	if _, hit, _ := c.lookup(geom.Manhattan, src, a); hit {
+		t.Error("a survived the byte budget")
+	}
+
+	// Re-measuring the same entry must replace, not add.
+	eb2, hit, _ := c.lookup(geom.Manhattan, src, b)
+	if !hit || eb2 != eb {
+		t.Fatal("b fell out under budget")
+	}
+	c.reaccount(eb, 80)
+	if got := c.bytes(); got != 80 {
+		t.Fatalf("bytes = %d, want 80 after re-measure", got)
+	}
+
+	// A single entry over budget stays resident (the most recent entry is
+	// never shed: its bytes are live in the holder's hands regardless).
+	c.reaccount(eb, 500)
+	if got, n := c.bytes(), c.len(); got != 500 || n != 1 {
+		t.Fatalf("oversized sole-use entry: bytes=%d len=%d", got, n)
+	}
+	// ...until a newer entry displaces it.
+	ed, _, _ := c.lookup(geom.Manhattan, src, d)
+	c.reaccount(ed, 10)
+	if _, hit, _ := c.lookup(geom.Manhattan, src, b); hit {
+		t.Error("oversized b survived a newer entry")
+	}
+	if got := c.bytes(); got > 100 {
+		t.Errorf("bytes = %d, want <= budget", got)
+	}
+
+	// Reaccounting an evicted entry must not corrupt the total.
+	c.reaccount(eb, 1<<30)
+	if got := c.bytes(); got > 100 {
+		t.Errorf("evicted entry re-entered the total: %d", got)
+	}
+}
+
+// gaugeValue fetches one serve-scope gauge from /metrics.
+func gaugeValue(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	for _, sc := range snap.Scopes {
+		if sc.Name != ScopeName {
+			continue
+		}
+		for _, g := range sc.Gauges {
+			if g.Name == name {
+				return g.Value
+			}
+		}
+	}
+	t.Fatalf("gauge %s/%s not in snapshot", ScopeName, name)
+	return 0
+}
+
+// TestCacheByteBudgetBurst is the satellite regression test: a burst of
+// distinct nets, each pinning tens of kilobytes of dense edge state,
+// must not accumulate past the configured byte budget the way the
+// entry-count-only cache would.
+func TestCacheByteBudgetBurst(t *testing.T) {
+	const budget = 200_000
+	s, ts := newTestServer(t, Config{CacheSize: 1000, CacheBytes: budget})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		body := `{"nets":[` + randomNetJSON(rng, 40, "bkrus", `"eps":0.3`) + `]}`
+		if code, data, _ := postBuild(t, ts.URL, body); code != http.StatusOK {
+			t.Fatalf("net %d: status %d: %s", i, code, data)
+		}
+		if got := s.cache.bytes(); got > budget {
+			t.Fatalf("net %d: cache holds %d accounted bytes, budget %d", i, got, budget)
+		}
+	}
+	if n := s.cache.len(); n >= 12 {
+		t.Errorf("all %d entries resident; the byte budget never evicted", n)
+	}
+	got := gaugeValue(t, ts.URL, GaugeCacheBytes)
+	if got <= 0 || got > budget {
+		t.Errorf("cache_bytes gauge = %g, want in (0, %d]", got, budget)
 	}
 }
 

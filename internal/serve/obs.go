@@ -29,6 +29,7 @@ const (
 	GaugeQueueDepth   = "queue_depth"   // requests currently waiting for a slot
 	GaugeInflight     = "inflight"      // requests currently holding a slot
 	GaugeCacheEntries = "cache_entries" // instance-cache entries resident
+	GaugeCacheBytes   = "cache_bytes"   // accounted bytes resident in the instance cache
 
 	TimerRequest = "request_seconds" // whole /v1/build request, admission wait included
 )
@@ -59,6 +60,7 @@ type Counters struct {
 	QueueDepth   *obs.Gauge
 	Inflight     *obs.Gauge
 	CacheEntries *obs.Gauge
+	CacheBytes   *obs.Gauge
 
 	Request *obs.Timer
 }
@@ -83,6 +85,7 @@ func NewCounters(sc *obs.Scope) *Counters {
 		QueueDepth:   sc.Gauge(GaugeQueueDepth),
 		Inflight:     sc.Gauge(GaugeInflight),
 		CacheEntries: sc.Gauge(GaugeCacheEntries),
+		CacheBytes:   sc.Gauge(GaugeCacheBytes),
 
 		Request: sc.Timer(TimerRequest),
 	}

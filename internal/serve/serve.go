@@ -79,6 +79,11 @@ type Config struct {
 	// sorted-edge state). 0 means DefaultCacheSize; negative disables
 	// the cache.
 	CacheSize int
+	// CacheBytes additionally bounds the accounted bytes resident in the
+	// instance cache (instance geometry caches plus scratch buffers,
+	// re-measured after every build). 0 or negative means unbounded —
+	// the historical entry-count-only behavior.
+	CacheBytes int64
 	// SweepWorkers is the worker count handed to engine.SweepParallel
 	// for eps_sweep nets. 0 means runtime.GOMAXPROCS; 1 forces the
 	// serial sweep (byte-identical results either way).
@@ -156,7 +161,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		reg:            reg,
 		gate:           newGate(workers, queue),
-		cache:          newInstCache(cacheSize),
+		cache:          newInstCache(cacheSize, cfg.CacheBytes),
 		sweepWorkers:   sweepWorkers,
 		maxBatch:       orDefault(cfg.MaxBatch, DefaultMaxBatch),
 		maxPoints:      orDefault(cfg.MaxPoints, DefaultMaxPoints),
@@ -476,6 +481,13 @@ func (s *Server) buildNet(ctx context.Context, cn checkedNet) (NetResult, error)
 func (s *Server) buildTrees(ctx context.Context, cn checkedNet, entry *cacheEntry) ([]TreeResult, error) {
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+	// Re-measure the entry after the build (deferred last → runs first,
+	// still under entry.mu): lazy geometry caches and scratch buffers
+	// grow during a build, and the byte-budget eviction needs the grown
+	// size, not the insert-time size.
+	defer func() {
+		s.cache.reaccount(entry, entry.in.MemBytes()+entry.scratch.MemBytes())
+	}()
 	n := cn.req
 
 	if len(n.EpsSweep) == 0 {
@@ -564,4 +576,5 @@ func (s *Server) refreshGauges() {
 	s.c.QueueDepth.Set(float64(s.gate.waiting()))
 	s.c.Inflight.Set(float64(s.gate.active()))
 	s.c.CacheEntries.Set(float64(s.cache.len()))
+	s.c.CacheBytes.Set(float64(s.cache.bytes()))
 }

@@ -27,9 +27,11 @@
 //	benchjson -diff old.json new.json [-fail-over 20]
 //
 // The -diff mode compares two committed reports benchmark by benchmark
-// (keyed by package + name) and prints per-benchmark ns/op deltas.
-// With -fail-over PCT it exits 1 when any benchmark regressed by more
-// than PCT percent; without it the diff is informational only.
+// (keyed by package + name) and prints per-benchmark ns/op deltas,
+// plus bytes/op deltas where both reports recorded allocations. With
+// -fail-over PCT it exits 1 when any benchmark's time or bytes
+// regressed by more than PCT percent; without it the diff is
+// informational only.
 //
 // Exit status: 0 on success, 1 when the input contains no benchmark
 // lines, the output cannot be written, or -fail-over tripped, 2 on
@@ -69,7 +71,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
-	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any ns/op regression exceeds this percent (0 = never fail)")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any ns/op or bytes/op regression exceeds this percent (0 = never fail)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
 		fmt.Fprintln(os.Stderr, "       benchjson -diff [-fail-over PCT] old.json new.json")
@@ -162,10 +164,14 @@ func readReport(path string) (*Report, error) {
 // benchKey identifies a benchmark across reports.
 func benchKey(b Benchmark) string { return b.Package + " " + b.Name }
 
-// diffReports compares old and new ns/op per benchmark, in new-report
-// order, then lists benchmarks only one side has. It returns the
-// rendered lines plus the count of regressions above failOver percent
-// (0 when failOver <= 0: purely informational).
+// diffReports compares old and new per benchmark — ns/op always,
+// bytes/op when both reports recorded it — in new-report order, then
+// lists benchmarks only one side has. It returns the rendered lines
+// plus the count of regressions above failOver percent on either axis
+// (0 when failOver <= 0: purely informational). Gating bytes/op next
+// to time is what keeps the sub-quadratic memory contract honest: an
+// O(n²) allocation sneaking back into a sparse path shows up as a
+// bytes regression long before it dominates wall time.
 func diffReports(old, new_ *Report, failOver float64) (lines []string, regressed int) {
 	prev := map[string]Benchmark{}
 	for _, b := range old.Benchmarks {
@@ -184,13 +190,22 @@ func diffReports(old, new_ *Report, failOver float64) (lines []string, regressed
 		if o.NsPerOp > 0 {
 			delta = (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
+		bad := failOver > 0 && delta > failOver
+		bytesCol := ""
+		if o.BytesPerOp > 0 && b.BytesPerOp > 0 {
+			bd := (b.BytesPerOp - o.BytesPerOp) / o.BytesPerOp * 100
+			bytesCol = fmt.Sprintf("  B/op %+7.2f%%", bd)
+			if failOver > 0 && bd > failOver {
+				bad = true
+			}
+		}
 		mark := ""
-		if failOver > 0 && delta > failOver {
+		if bad {
 			mark = "  REGRESSION"
 			regressed++
 		}
-		lines = append(lines, fmt.Sprintf("%-60s %14.0f %14.0f  %+7.2f%%%s",
-			b.Name, o.NsPerOp, b.NsPerOp, delta, mark))
+		lines = append(lines, fmt.Sprintf("%-60s %14.0f %14.0f  %+7.2f%%%s%s",
+			b.Name, o.NsPerOp, b.NsPerOp, delta, bytesCol, mark))
 	}
 	for _, b := range old.Benchmarks {
 		if !seen[benchKey(b)] {

@@ -116,6 +116,18 @@ func TestDiffReports(t *testing.T) {
 		t.Errorf("failOver=0 counted %d regressions, want 0", n)
 	}
 
+	// Bytes/op gates alongside time: a flat-time benchmark whose
+	// allocation doubled is a regression too.
+	oldB := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkM-4", Package: "p", NsPerOp: 100, BytesPerOp: 1000}}}
+	curB := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkM-4", Package: "p", NsPerOp: 100, BytesPerOp: 2000}}}
+	linesB, n := diffReports(oldB, curB, 20)
+	if n != 1 || !strings.Contains(linesB[0], "REGRESSION") || !strings.Contains(linesB[0], "B/op +100.00%") {
+		t.Errorf("bytes regression not gated: n=%d %q", n, linesB[0])
+	}
+	if _, n := diffReports(oldB, curB, 0); n != 0 {
+		t.Errorf("informational mode counted a bytes regression")
+	}
+
 	// Same package+name keying: a matching name in another package is
 	// a different benchmark.
 	other := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA-4", Package: "q", NsPerOp: 1}}}
