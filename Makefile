@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-json-pr8 bench-smoke bench-diff quick experiments examples cover fuzz metrics-smoke serve-smoke clean
+.PHONY: all build test vet lint conformance race race-parallel bench bench-json bench-json-pr8 bench-json-pr9 bench-smoke bench-diff bench-gate quick experiments examples cover fuzz metrics-smoke serve-smoke clean
 
 all: build vet lint test conformance
 
@@ -45,9 +45,11 @@ race:
 
 # the parallel kernels under a fixed worker budget: GOMAXPROCS=4 makes
 # the gate/fallback split deterministic so the race detector exercises
-# the same schedule shape on every machine
+# the same schedule shape on every machine. core/exact/steiner carry
+# the PR-9 construction kernels (refresh rows, Gabow branches, BKST
+# pair seeding).
 race-parallel:
-	GOMAXPROCS=4 $(GO) test -race ./internal/geom ./internal/graph ./internal/engine
+	GOMAXPROCS=4 $(GO) test -race ./internal/geom ./internal/graph ./internal/engine ./internal/core ./internal/exact ./internal/steiner
 
 # full benchmark sweep, including the per-table/figure harness benches
 bench:
@@ -70,6 +72,13 @@ bench-json-pr8:
 	$(GO) test -run '^$$' -bench 'BenchmarkBKRUS(Sparse|Dense)' -benchmem -timeout 30m ./internal/core/ \
 	| $(GO) run ./tools/benchjson -o BENCH_PR8.json
 
+# machine-readable record of the parallel-refresh benchmarks: the BKRUS
+# per-merge refresh (dense n=1000 and sparse n=10000) at workers 1 and
+# 4, the hot-path rows the bench-gate target protects (DESIGN.md §14)
+bench-json-pr9:
+	$(GO) test -run '^$$' -bench 'BenchmarkBKRUSRefresh' -benchmem -timeout 20m ./internal/core/ \
+	| $(GO) run ./tools/benchjson -o BENCH_PR9.json
+
 # one-iteration rerun of the committed benchmark set diffed against
 # the BENCH_PR4.json baseline; informational (no -fail-over) because a
 # 1x run is too noisy to gate on. The PR8 diff skips the n=10⁵ row
@@ -84,6 +93,23 @@ bench-diff:
 	$(GO) test -run '^$$' -bench 'BenchmarkBKRUSSparse/n=(1000|10000)$$|BenchmarkBKRUSDense' -benchtime 1x -benchmem ./internal/core/ \
 	| $(GO) run ./tools/benchjson -o /tmp/bench_head_pr8.json
 	$(GO) run ./tools/benchjson -diff BENCH_PR8.json /tmp/bench_head_pr8.json
+
+# blocking gate over the BKRUS hot-path rows: rerun the refresh
+# benchmarks at full benchtime (a 1x run would bill one-time setup —
+# edge-stream sort, scratch growth — to ns/op and B/op, which the
+# steady-state baseline amortizes away), diff against the committed
+# BENCH_PR9.json baseline, and fail on a large regression or a
+# silently dropped row. The threshold is deliberately generous — CI
+# runners are noisy — so the gate catches order-of-magnitude
+# regressions and missing rows (-require makes a dropped benchmark
+# loud), not jitter.
+BENCH_GATE_OVER ?= 200
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkBKRUSRefresh' -benchmem -timeout 20m ./internal/core/ \
+	| $(GO) run ./tools/benchjson -o /tmp/bench_head_pr9.json
+	$(GO) run ./tools/benchjson -diff -fail-over $(BENCH_GATE_OVER) \
+	    -require 'BenchmarkBKRUSRefresh/n=1000/workers=1,BenchmarkBKRUSRefresh/n=1000/workers=4,BenchmarkBKRUSRefreshSparse/n=10000/workers=1,BenchmarkBKRUSRefreshSparse/n=10000/workers=4' \
+	    BENCH_PR9.json /tmp/bench_head_pr9.json
 
 # one-iteration smoke over the same benchmarks, cheap enough for CI
 bench-smoke:

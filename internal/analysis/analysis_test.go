@@ -220,7 +220,18 @@ func TestAppliesTo(t *testing.T) {
 		{WaitPair, "repro/internal/router", true},
 		{WaitPair, "repro/internal/obs", false},
 		{SharedWrite, "repro/internal/engine", true},
-		{SharedWrite, "repro/internal/core", false}, // serial by construction
+		// The construction layers grew parallel kernels (P-matrix
+		// refresh, Gabow branches, BKST pair seeding) under the full
+		// worker-gate discipline.
+		{ParallelGate, "repro/internal/core", true},
+		{ParallelGate, "repro/internal/exact", true},
+		{ParallelGate, "repro/internal/steiner", true},
+		{SharedWrite, "repro/internal/core", true},
+		{SharedWrite, "repro/internal/exact", true},
+		{SharedWrite, "repro/internal/steiner", true},
+		{WaitPair, "repro/internal/core", true},
+		{WaitPair, "repro/internal/exact", true},
+		{WaitPair, "repro/internal/steiner", true},
 		// The serving layer promises the same concurrency discipline as
 		// the engine it fronts (but keeps wall-clock freedom: request
 		// timing is its job).

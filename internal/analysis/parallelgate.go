@@ -20,6 +20,9 @@ var parallelGatePackages = []string{
 	"repro/internal/graph",
 	"repro/internal/engine",
 	"repro/internal/serve",
+	"repro/internal/core",
+	"repro/internal/exact",
+	"repro/internal/steiner",
 }
 
 // ParallelGate requires every `go` statement to be dominated by a

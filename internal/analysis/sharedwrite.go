@@ -20,6 +20,9 @@ var sharedWritePackages = []string{
 	"repro/internal/engine",
 	"repro/internal/router",
 	"repro/internal/serve",
+	"repro/internal/core",
+	"repro/internal/exact",
+	"repro/internal/steiner",
 }
 
 // SharedWrite flags writes from a goroutine body to variables captured

@@ -20,6 +20,9 @@ var waitPairPackages = []string{
 	"repro/internal/engine",
 	"repro/internal/router",
 	"repro/internal/serve",
+	"repro/internal/core",
+	"repro/internal/exact",
+	"repro/internal/steiner",
 }
 
 // WaitPair checks each `go` launch of a function literal:

@@ -1,0 +1,160 @@
+package core
+
+// Parallel construction inner loops (ROADMAP item 2). The kernels
+// shipped before this file wrap *around* the constructions — distance
+// matrix fill, edge sort/stream, the sweep harness — while the per-merge
+// work inside BKRUS stayed serial. This file parallelizes that work
+// itself, under the same discipline the earlier kernels established
+// (parallelgate/sharedwrite/waitpair enforce it statically):
+//
+//   - every spawn is dominated by a worker-count gate with a serial
+//     fallback that produces byte-identical output;
+//   - workers write only index-disjoint slots of shared slices;
+//   - floating-point sums are grouped exactly as the serial path groups
+//     them, so parallel and serial runs agree to the last bit, not just
+//     within tolerance.
+//
+// Dense path — mergeParallel: the paper's Merge writes a cross-product
+// of P entries, P[x][y] = (P[x][u] + w) + P[v][y] for x ∈ t_u, y ∈ t_v,
+// and refreshes both sides' radii. Workers shard the t_u rows by
+// stride: worker g owns rows mu[g], mu[g+w], ... Every write of row x —
+// P[x*n+y], the mirror P[y*n+x] (a distinct column slot per x), and
+// r[x] — is keyed by x, so shards never touch the same cell. Each P
+// entry is one two-addition sum computed from inputs that predate the
+// merge, and each row maximum folds over that row's y sequence in mv
+// order exactly as the serial loop does, so every written byte is
+// identical to the serial merge's. The second phase (column maxima into
+// r[y]) shards over t_v the same way after a barrier, reading the
+// phase-one entries and writing only r[y].
+//
+// Sparse path — the per-candidate DFS evaluations: witnessExistsSparse
+// and mergeSparse each need the in-tree paths from both endpoints
+// (pathU and pathV). The two DFS fills touch disjoint output arrays and
+// disjoint stack scratch, so they run concurrently; the feasibility
+// scan itself stays serial, preserving the byte-exact early-exit order
+// and the witness-scan counter totals.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelMergeMin is the minimum cross-product |t_u|·|t_v| below which
+// the serial merge always wins (goroutine startup dominates the
+// double-addition per cell).
+const parallelMergeMin = 16384
+
+// parallelFillMin is the minimum combined member count below which the
+// two sparse DFS fills run serially.
+const parallelFillMin = 2048
+
+// refreshWorkersKnob overrides the per-merge refresh worker count:
+// 0 means "gate on runtime.GOMAXPROCS", 1 forces the serial path,
+// n > 1 forces n workers. Atomic so tests and benchmarks can flip it
+// concurrently.
+var refreshWorkersKnob atomic.Int32
+
+// SetRefreshWorkers sets the package-level worker count for the
+// per-merge P-matrix/radius refresh (dense) and the per-candidate DFS
+// pair (sparse), returning the previous setting. 0 restores the default
+// (runtime.GOMAXPROCS); 1 forces the serial path. Per-build
+// Config.RefreshWorkers takes precedence. Intended for tests,
+// benchmarks, and binaries that must pin one path.
+func SetRefreshWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(refreshWorkersKnob.Swap(int32(n)))
+}
+
+// resolveRefreshWorkers resolves the effective worker count for one
+// construction: explicit per-build config, else the package knob, else
+// GOMAXPROCS.
+func resolveRefreshWorkers(cfg int) int {
+	if cfg > 0 {
+		return cfg
+	}
+	if k := refreshWorkersKnob.Load(); k > 0 {
+		return int(k)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mergeParallel is the dense Merge with the t_u rows sharded across w
+// workers. Writes are index-disjoint by row owner x (P[x*n+y], the
+// mirror column slot P[y*n+x], and r[x] are all keyed by x); phase two
+// shards the t_v column maxima by owner y after the barrier. Each cell
+// and each row maximum is computed with the exact operand grouping of
+// the serial merge, so the result is byte-identical.
+func (e *engine) mergeParallel(u, v int, w float64, mu, mv []int, workers int) {
+	n := e.n
+	if workers > len(mu) {
+		workers = len(mu)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(mu); i += workers {
+				x := mu[i]
+				px := e.p[x*n+u] + w // path(x,u) + dist(u,v), as in merge
+				rowMax := e.r[x]
+				for _, y := range mv {
+					pxy := px + e.p[v*n+y]
+					e.p[x*n+y] = pxy
+					e.p[y*n+x] = pxy
+					if pxy > rowMax {
+						rowMax = pxy
+					}
+				}
+				e.r[x] = rowMax
+			}
+		}(g)
+	}
+	wg.Wait()
+	cw := workers
+	if cw > len(mv) {
+		cw = len(mv)
+	}
+	for g := 0; g < cw; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := g; j < len(mv); j += cw {
+				y := mv[j]
+				colMax := e.r[y]
+				for _, x := range mu {
+					if pxy := e.p[x*n+y]; pxy > colMax {
+						colMax = pxy
+					}
+				}
+				e.r[y] = colMax
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// fillPathsPair fills pathU (DFS from u) and pathV (DFS from v). When
+// the worker gate allows and the combined tree size clears
+// parallelFillMin, the two fills run concurrently — they write disjoint
+// arrays and use disjoint stack scratch — otherwise both run serially
+// on the engine's primary stacks. Either way each array's contents are
+// the byte-identical DFS products.
+func (e *engine) fillPathsPair(u, v int, nu, nv int) {
+	if w := e.refreshW; w > 1 && nu+nv >= parallelFillMin {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fillPathsInto(e.adj, v, e.pathV, &e.stackNode2, &e.stackPar2)
+		}()
+		e.fillPaths(u, e.pathU)
+		wg.Wait()
+		return
+	}
+	e.fillPaths(u, e.pathU)
+	e.fillPaths(v, e.pathV)
+}

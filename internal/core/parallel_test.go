@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/inst"
+)
+
+func TestSetRefreshWorkers(t *testing.T) {
+	prev := SetRefreshWorkers(3)
+	defer SetRefreshWorkers(prev)
+	if got := SetRefreshWorkers(5); got != 3 {
+		t.Fatalf("SetRefreshWorkers returned %d, want previous 3", got)
+	}
+	if got := SetRefreshWorkers(0); got != 5 {
+		t.Fatalf("SetRefreshWorkers returned %d, want previous 5", got)
+	}
+	if got := SetRefreshWorkers(-2); got != 0 {
+		t.Fatalf("SetRefreshWorkers returned %d, want previous 0", got)
+	}
+	if got := resolveRefreshWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative knob input resolved to %d, want GOMAXPROCS default", got)
+	}
+}
+
+func TestResolveRefreshWorkersPrecedence(t *testing.T) {
+	prev := SetRefreshWorkers(0)
+	defer SetRefreshWorkers(prev)
+	if got := resolveRefreshWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default resolution = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetRefreshWorkers(2)
+	if got := resolveRefreshWorkers(0); got != 2 {
+		t.Errorf("knob resolution = %d, want 2", got)
+	}
+	// Explicit per-build config beats the knob.
+	if got := resolveRefreshWorkers(7); got != 7 {
+		t.Errorf("config resolution = %d, want 7", got)
+	}
+}
+
+func TestRefreshWorkersGauge(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(7)), 40, 1000)
+	c := NewCounters(nil)
+	if _, err := BKRUSBuild(context.Background(), in, UpperOnly(in, 0.2), Config{Counters: c, RefreshWorkers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RefreshWorkers.Load(); got != 3 {
+		t.Errorf("refresh_workers gauge = %g, want 3", got)
+	}
+}
+
+// buildAt runs one BKRUS construction with a pinned worker count and a
+// private counter set, returning the tree and the counter totals.
+func buildAt(t *testing.T, in *inst.Instance, b Bounds, geo Geometry, workers int) (tree []graph.Edge, stats BuildStats) {
+	t.Helper()
+	c := NewCounters(nil)
+	tr, err := BKRUSBuild(context.Background(), in, b, Config{Counters: c, Geometry: geo, RefreshWorkers: workers})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return tr.Edges, c.stats()
+}
+
+// TestMergeParallelByteIdentical pins the tentpole contract on the dense
+// substrate: for worker counts spanning the serial path, even/odd
+// sharding, and more workers than rows, the tree bytes and every
+// construction counter match the serial build exactly. n is large
+// enough that late merges cross parallelMergeMin, so the parallel
+// kernel really runs when workers > 1.
+func TestMergeParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []int64{1, 42} {
+		in := randomInstance(rand.New(rand.NewSource(seed)), 600, 1000)
+		in.DistMatrix()
+		for _, eps := range []float64{0, 0.2} {
+			b := UpperOnly(in, eps)
+			wantTree, wantStats := buildAt(t, in, b, GeomDense, 1)
+			for _, w := range []int{2, 3, 4, 8, 1024} {
+				gotTree, gotStats := buildAt(t, in, b, GeomDense, w)
+				label := fmt.Sprintf("seed=%d eps=%g workers=%d", seed, eps, w)
+				if len(gotTree) != len(wantTree) {
+					t.Fatalf("%s: %d edges, want %d", label, len(gotTree), len(wantTree))
+				}
+				for i := range wantTree {
+					if gotTree[i] != wantTree[i] {
+						t.Fatalf("%s: edge %d = %+v, want %+v", label, i, gotTree[i], wantTree[i])
+					}
+				}
+				if gotStats != wantStats {
+					t.Errorf("%s: stats %+v, want %+v", label, gotStats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseParallelByteIdentical is the same contract on the sparse
+// substrate, where the parallel kernel is the concurrent DFS pair: the
+// serial build's trees and counter totals — including witness_scans,
+// whose early-exit order the prefetch branch must preserve — are
+// byte-identical at every worker count.
+func TestSparseParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	in := randomInstance(rand.New(rand.NewSource(9)), 6000, 1e6)
+	for _, eps := range []float64{0.05, 0.5} {
+		b := UpperOnly(in, eps)
+		wantTree, wantStats := buildAt(t, in, b, GeomSparse, 1)
+		for _, w := range []int{2, 4, 8} {
+			gotTree, gotStats := buildAt(t, in, b, GeomSparse, w)
+			label := fmt.Sprintf("eps=%g workers=%d", eps, w)
+			if len(gotTree) != len(wantTree) {
+				t.Fatalf("%s: %d edges, want %d", label, len(gotTree), len(wantTree))
+			}
+			for i := range wantTree {
+				if gotTree[i] != wantTree[i] {
+					t.Fatalf("%s: edge %d = %+v, want %+v", label, i, gotTree[i], wantTree[i])
+				}
+			}
+			if gotStats != wantStats {
+				t.Errorf("%s: stats %+v, want %+v", label, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// TestParallelScratchReuse drives the parallel paths through a pooled
+// scratch across geometry switches, so the second stack pair's
+// grow-and-hand-back cycle is exercised the way engine.Build pools it.
+func TestParallelScratchReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := &Scratch{}
+	in := randomInstance(rand.New(rand.NewSource(11)), 3000, 1e6)
+	b := UpperOnly(in, 0.2)
+	var want []graph.Edge
+	for round := 0; round < 3; round++ {
+		tr, err := BKRUSBuild(context.Background(), in, b, Config{Scratch: s, Geometry: GeomSparse, RefreshWorkers: 4})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round == 0 {
+			want = tr.Edges
+			continue
+		}
+		for i := range want {
+			if tr.Edges[i] != want[i] {
+				t.Fatalf("round %d: edge %d = %+v, want %+v", round, i, tr.Edges[i], want[i])
+			}
+		}
+	}
+	if s.MemBytes() <= 0 {
+		t.Error("pooled scratch reports no retained bytes after parallel runs")
+	}
+}
+
+// benchmarkRefresh measures the full construction at a pinned worker
+// count; the per-merge refresh dominates dense BKRUS at this size, so
+// the workers=1 vs workers=4 rows are the BENCH_PR9 hot-path gate.
+func benchmarkRefresh(b *testing.B, nodes, workers int, geo Geometry) {
+	in := randomInstance(rand.New(rand.NewSource(13)), nodes-1, 1000)
+	if geo == GeomDense {
+		in.DistMatrix()
+	}
+	bounds := UpperOnly(in, 0.2)
+	s := &Scratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKRUSBuild(context.Background(), in, bounds, Config{Scratch: s, Geometry: geo, RefreshWorkers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBKRUSRefresh(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("n=1000/workers=%d", workers), func(b *testing.B) { benchmarkRefresh(b, 1000, workers, GeomDense) })
+	}
+}
+
+func BenchmarkBKRUSRefreshSparse(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("n=10000/workers=%d", workers), func(b *testing.B) { benchmarkRefresh(b, 10000, workers, GeomSparse) })
+	}
+}

@@ -45,6 +45,17 @@ func baselineCounters(p Params) *baseline.Counters {
 	return nil
 }
 
+// exactOptions wires Params into the exact layer's search options:
+// budget, branch worker pin, and counters (explicit registry if set;
+// the exact layer's own default-registry pickup covers the rest).
+func exactOptions(p Params) exact.Options {
+	opt := exact.Options{MaxTrees: p.GabowBudget, BranchWorkers: p.RefreshWorkers}
+	if p.Obs != nil {
+		opt.Counters = exact.NewCounters(p.Obs.Scope(exact.ScopeName))
+	}
+	return opt
+}
+
 func spanning(t *graph.Tree, err error) (Result, error) {
 	if err != nil {
 		return Result{}, err
@@ -168,7 +179,7 @@ func init() {
 		if err := requireNonNegative("eps", p.Eps); err != nil {
 			return Result{}, err
 		}
-		return spanning(exact.BMSTG(ctx, in, p.Eps, exact.Options{MaxTrees: p.GabowBudget}))
+		return spanning(exact.BMSTG(ctx, in, p.Eps, exactOptions(p)))
 	})
 	Register(Info{
 		Name: "bmstglu", Kind: Spanning, Needs: []string{"eps1", "eps2", "gbudget"},
@@ -181,7 +192,7 @@ func init() {
 			return Result{}, err
 		}
 		b := core.LowerUpper(in, p.Eps1, p.Eps2)
-		return spanning(exact.BMSTGBounds(ctx, in, b, exact.Options{MaxTrees: p.GabowBudget}))
+		return spanning(exact.BMSTGBounds(ctx, in, b, exactOptions(p)))
 	})
 
 	// §3.2 Elmore-delay variants.

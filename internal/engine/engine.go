@@ -112,6 +112,15 @@ type Params struct {
 	// (core.SparseThreshold). Constructors without sparse support ignore
 	// the field and stay dense.
 	Geometry Geometry
+	// RefreshWorkers bounds the workers of the construction inner loops:
+	// the BKRUS per-merge refresh (core.Config.RefreshWorkers), the
+	// Gabow partition branches (exact.Options.BranchWorkers), and the
+	// BKST pair seeding (steiner.Config.SeedWorkers). 0 defers to each
+	// layer's package knob (which defaults to runtime.GOMAXPROCS);
+	// 1 forces the serial paths. Trees are byte-identical for every
+	// setting. SweepParallel clamps the per-cell value so sweep workers ×
+	// refresh workers never exceeds the requested total.
+	RefreshWorkers int
 }
 
 // Geometry re-exports the core substrate selector so engine callers
@@ -136,7 +145,7 @@ func (p Params) rcModel() delay.Model {
 
 // coreConfig wires Params into the core layer's build hooks.
 func (p Params) coreConfig() core.Config {
-	cfg := core.Config{Scratch: p.Scratch, EagerSort: p.EagerSort, Geometry: p.Geometry}
+	cfg := core.Config{Scratch: p.Scratch, EagerSort: p.EagerSort, Geometry: p.Geometry, RefreshWorkers: p.RefreshWorkers}
 	if p.Obs != nil {
 		cfg.Counters = core.NewCounters(p.Obs.Scope(core.ScopeName))
 	}
@@ -145,7 +154,7 @@ func (p Params) coreConfig() core.Config {
 
 // steinerConfig wires Params into the Steiner layer's build hooks.
 func (p Params) steinerConfig(planar bool) steiner.Config {
-	cfg := steiner.Config{Planar: planar}
+	cfg := steiner.Config{Planar: planar, SeedWorkers: p.RefreshWorkers}
 	if p.Obs != nil {
 		cfg.Counters = steiner.NewCounters(p.Obs.Scope(steiner.ScopeName))
 	}

@@ -1,0 +1,34 @@
+package exact
+
+import "repro/internal/obs"
+
+// ScopeName is the obs scope the exact layer records into. When a
+// process-wide default registry is installed (obs.SetDefault), every
+// BMSTG search accumulates its counters there; otherwise counting is
+// off and the search pays a single nil test per event site.
+const ScopeName = "exact"
+
+// Counter names of the exact scope, as they appear in a -metrics JSON
+// report. OBSERVABILITY.md is the catalogue.
+const (
+	// CtrBranchesParallel counts partition branches solved on the worker
+	// pool (branches solved by the serial fallback are not counted).
+	// Worker telemetry, not construction semantics: totals legitimately
+	// differ across worker counts even though the trees are identical.
+	CtrBranchesParallel = "branches_parallel"
+)
+
+// Counters is the exact search's obs-backed counter set. Construct with
+// NewCounters; a nil scope yields a standalone set not attached to any
+// registry.
+type Counters struct {
+	BranchesParallel *obs.Counter // partition branches solved on the worker pool
+}
+
+// NewCounters resolves the exact counter set inside sc. A nil scope
+// yields a standalone set not attached to any registry.
+func NewCounters(sc *obs.Scope) *Counters {
+	return &Counters{
+		BranchesParallel: sc.Counter(CtrBranchesParallel),
+	}
+}

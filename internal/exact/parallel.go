@@ -1,0 +1,90 @@
+package exact
+
+// Concurrent Gabow partition branches. A partition step pops one
+// spanning tree and solves one constrained MST per free edge of that
+// tree; the child problems share only read-only state (the sorted
+// candidate list and their immutable constraint sets), so they are
+// independent by construction. The worker pool solves them concurrently
+// while the enumeration order stays byte-identical to the serial
+// search: partition builds all constraint sets first, each worker
+// writes only the subproblems it owns (strided by branch index), and
+// the heap pushes happen serially in branch-index order after the pool
+// drains — exactly the mutations the serial loop performs, in exactly
+// its order.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelBranchMin is the minimum branch count below which the serial
+// loop always wins (a partition step of a small tree solves faster than
+// goroutine startup).
+const parallelBranchMin = 4
+
+// branchWorkersKnob overrides the branch worker count: 0 means "gate on
+// runtime.GOMAXPROCS", 1 forces the serial path, n > 1 forces n
+// workers.
+var branchWorkersKnob atomic.Int32
+
+// SetBranchWorkers sets the package-level worker count for partition
+// branch solves, returning the previous setting. 0 restores the default
+// (runtime.GOMAXPROCS); 1 forces the serial path. Per-search
+// Options.BranchWorkers takes precedence.
+func SetBranchWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(branchWorkersKnob.Swap(int32(n)))
+}
+
+// resolveBranchWorkers resolves the effective worker count for one
+// search: explicit per-search option, else the package knob, else
+// GOMAXPROCS.
+func resolveBranchWorkers(opt int) int {
+	if opt > 0 {
+		return opt
+	}
+	if k := branchWorkersKnob.Load(); k > 0 {
+		return int(k)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// solveBranches fills in the cheapest representative of every child
+// region, on the worker pool when the gate allows and serially
+// otherwise. Either way kids[i] ends up with the identical tree:
+// solveBranch is a pure function of the (immutable) constraint sets.
+func (e *enumerator) solveBranches(kids []*subproblem) {
+	if nw := e.workers; nw > 1 && len(kids) >= parallelBranchMin {
+		e.solveBranchesParallel(kids, nw)
+		return
+	}
+	for _, kid := range kids {
+		e.solveBranch(kid)
+	}
+}
+
+// solveBranchesParallel is the pooled path: worker g owns branches
+// g, g+w, g+2w, ... and writes nothing else, so the writes are
+// index-disjoint over kids.
+func (e *enumerator) solveBranchesParallel(kids []*subproblem, workers int) {
+	if workers > len(kids) {
+		workers = len(kids)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(kids); i += workers {
+				e.solveBranch(kids[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.c != nil {
+		e.c.BranchesParallel.Add(int64(len(kids)))
+	}
+}

@@ -1,0 +1,117 @@
+package exact
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSetBranchWorkers(t *testing.T) {
+	prev := SetBranchWorkers(3)
+	defer SetBranchWorkers(prev)
+	if got := SetBranchWorkers(5); got != 3 {
+		t.Fatalf("SetBranchWorkers returned %d, want previous 3", got)
+	}
+	if got := SetBranchWorkers(-1); got != 5 {
+		t.Fatalf("SetBranchWorkers returned %d, want previous 5", got)
+	}
+	if got := resolveBranchWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative knob input resolved to %d, want GOMAXPROCS default", got)
+	}
+	SetBranchWorkers(2)
+	if got := resolveBranchWorkers(0); got != 2 {
+		t.Errorf("knob resolution = %d, want 2", got)
+	}
+	if got := resolveBranchWorkers(7); got != 7 {
+		t.Errorf("option resolution = %d, want 7", got)
+	}
+}
+
+// TestBranchWorkersDeterministic pins the tentpole contract: the exact
+// search returns byte-identical trees and identical search statistics
+// (trees popped, peak heap — i.e. the same enumeration order) at every
+// branch worker count, on instances tight enough that many partition
+// steps run before the feasible optimum surfaces.
+func TestBranchWorkersDeterministic(t *testing.T) {
+	for _, seed := range []int64{2, 5, 11} {
+		in := randomInstance(rand.New(rand.NewSource(seed)), 9, 100)
+		for _, eps := range []float64{0.05, 0.3} {
+			b := core.UpperOnly(in, eps)
+			want, wantStats, err := BMSTGWithStats(context.Background(), in, b, Options{BranchWorkers: 1})
+			if err != nil {
+				t.Fatalf("seed=%d eps=%g serial: %v", seed, eps, err)
+			}
+			for _, w := range []int{2, 4, 8} {
+				got, gotStats, err := BMSTGWithStats(context.Background(), in, b, Options{BranchWorkers: w})
+				label := fmt.Sprintf("seed=%d eps=%g workers=%d", seed, eps, w)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if len(got.Edges) != len(want.Edges) {
+					t.Fatalf("%s: %d edges, want %d", label, len(got.Edges), len(want.Edges))
+				}
+				for i := range want.Edges {
+					if got.Edges[i] != want.Edges[i] {
+						t.Fatalf("%s: edge %d = %+v, want %+v", label, i, got.Edges[i], want.Edges[i])
+					}
+				}
+				if gotStats != wantStats {
+					t.Errorf("%s: stats %+v, want %+v", label, gotStats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestBranchesParallelCounter checks the pool telemetry: the serial pin
+// records nothing, a multi-worker search on a branch-rich instance
+// records every pooled branch.
+func TestBranchesParallelCounter(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(6)), 10, 100)
+	b := core.UpperOnly(in, 0.02)
+	serial := NewCounters(nil)
+	if _, _, err := BMSTGWithStats(context.Background(), in, b, Options{BranchWorkers: 1, Counters: serial}); err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.BranchesParallel.Load(); got != 0 {
+		t.Errorf("serial search recorded %d pooled branches, want 0", got)
+	}
+	pooled := NewCounters(nil)
+	if _, _, err := BMSTGWithStats(context.Background(), in, b, Options{BranchWorkers: 4, Counters: pooled}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pooled.BranchesParallel.Load(); got == 0 {
+		t.Error("pooled search recorded no pooled branches; expected partition steps with >= parallelBranchMin branches")
+	}
+}
+
+// TestKBestDeterministicAcrossWorkers pins the bound-free enumeration
+// the same way: the cost-ordered tree sequence is identical at every
+// knob setting.
+func TestKBestDeterministicAcrossWorkers(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(8)), 8, 100)
+	prev := SetBranchWorkers(1)
+	defer SetBranchWorkers(prev)
+	want := KBest(in, 25)
+	for _, w := range []int{2, 8} {
+		SetBranchWorkers(w)
+		got := KBest(in, 25)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d trees, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].Edges) != len(want[i].Edges) {
+				t.Fatalf("workers=%d tree %d: edge count mismatch", w, i)
+			}
+			for j := range want[i].Edges {
+				if got[i].Edges[j] != want[i].Edges[j] {
+					t.Fatalf("workers=%d tree %d edge %d = %+v, want %+v", w, i, j, got[i].Edges[j], want[i].Edges[j])
+				}
+			}
+		}
+	}
+}

@@ -185,6 +185,13 @@ type Config struct {
 	// Planar forbids layered jumper wires; walled-in terminals surface as
 	// ErrNotPlanar.
 	Planar bool
+	// SeedWorkers bounds the workers that evaluate the O(terminals²)
+	// candidate-pair distances feeding the pair heap. 0 defers to the
+	// package knob (SetSeedWorkers), which itself defaults to
+	// runtime.GOMAXPROCS; 1 forces the serial path. Distances are
+	// evaluated in parallel but pushed serially in input order, so the
+	// heap — and the tree — is byte-identical for every setting.
+	SeedWorkers int
 }
 
 // BKSTBuild is the full-control entry point behind every BKST variant:
@@ -200,7 +207,7 @@ func BKSTBuild(ctx context.Context, in *inst.Instance, bounds core.Bounds, cfg C
 		return nil, fmtErrMetric(in.Metric())
 	}
 	//lint:ignore ctxflow heap seeding is O(terminals^2) before the first pop; run(ctx) polls from the first candidate on and BKST terminal counts are small by design
-	b := newBuilder(in, bounds.Upper)
+	b := newBuilder(in, bounds.Upper, cfg.SeedWorkers)
 	b.lower = bounds.Lower
 	b.planar = cfg.Planar
 	if cfg.Counters != nil {
@@ -256,7 +263,7 @@ type builder struct {
 	mzDone []bool
 }
 
-func newBuilder(in *inst.Instance, bound float64) *builder {
+func newBuilder(in *inst.Instance, bound float64, seedWorkers int) *builder {
 	g := NewGrid(in)
 	b := &builder{
 		g:          g,
@@ -276,12 +283,7 @@ func newBuilder(in *inst.Instance, bound float64) *builder {
 			b.forest = append(b.forest, id)
 		}
 	}
-	for i := 0; i < len(b.forest); i++ {
-		for j := i + 1; j < len(b.forest); j++ {
-			a, c := b.forest[i], b.forest[j]
-			heap.Push(&b.h, pairItem{d: g.Dist(a, c), a: a, b: c})
-		}
-	}
+	b.seedPairs(resolveSeedWorkers(seedWorkers))
 	// Opportunistic instrumentation, overridable by Config.Counters.
 	if sc := obs.DefaultScope(ScopeName); sc != nil {
 		b.c = NewCounters(sc)

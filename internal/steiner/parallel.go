@@ -1,0 +1,88 @@
+package steiner
+
+// Parallel candidate-pair seeding. newBuilder seeds the pair heap with
+// every terminal pair's metric distance — O(terminals²) geometry
+// evaluations before the first heap pop. The evaluations are
+// independent reads of the immutable grid, so they run on a worker
+// pool; the heap pushes stay serial and in input order, which makes
+// the heap state — and therefore every later pop and the finished
+// tree — byte-identical to the serial seeding at any worker count.
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelSeedMin is the minimum pair count below which serial seeding
+// always wins (one metric evaluation is a handful of arithmetic ops).
+const parallelSeedMin = 4096
+
+// seedWorkersKnob overrides the seed worker count: 0 means "gate on
+// runtime.GOMAXPROCS", 1 forces the serial path, n > 1 forces n
+// workers.
+var seedWorkersKnob atomic.Int32
+
+// SetSeedWorkers sets the package-level worker count for candidate-pair
+// seeding, returning the previous setting. 0 restores the default
+// (runtime.GOMAXPROCS); 1 forces the serial path. Per-build
+// Config.SeedWorkers takes precedence.
+func SetSeedWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(seedWorkersKnob.Swap(int32(n)))
+}
+
+// resolveSeedWorkers resolves the effective worker count for one build:
+// explicit per-build config, else the package knob, else GOMAXPROCS.
+func resolveSeedWorkers(cfg int) int {
+	if cfg > 0 {
+		return cfg
+	}
+	if k := seedWorkersKnob.Load(); k > 0 {
+		return int(k)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// seedPairs fills the pair heap with every forest-pair candidate. The
+// pair list is laid out in the serial loop's iteration order, the
+// distance column is evaluated (in parallel when the gate allows; each
+// worker writes only the strided items it owns), and the items are
+// pushed serially in input order.
+func (b *builder) seedPairs(workers int) {
+	m := len(b.forest)
+	items := make([]pairItem, 0, m*(m-1)/2)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			items = append(items, pairItem{a: b.forest[i], b: b.forest[j]})
+		}
+	}
+	if nw := workers; nw > 1 && len(items) >= parallelSeedMin {
+		if nw > len(items) {
+			nw = len(items)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < len(items); i += nw {
+					it := items[i]
+					it.d = b.g.Dist(it.a, it.b)
+					items[i] = it
+				}
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for i := range items {
+			items[i].d = b.g.Dist(items[i].a, items[i].b)
+		}
+	}
+	for _, it := range items {
+		heap.Push(&b.h, it)
+	}
+}

@@ -1,0 +1,74 @@
+package steiner
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSetSeedWorkers(t *testing.T) {
+	prev := SetSeedWorkers(3)
+	defer SetSeedWorkers(prev)
+	if got := SetSeedWorkers(5); got != 3 {
+		t.Fatalf("SetSeedWorkers returned %d, want previous 3", got)
+	}
+	if got := SetSeedWorkers(-1); got != 5 {
+		t.Fatalf("SetSeedWorkers returned %d, want previous 5", got)
+	}
+	if got := resolveSeedWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative knob input resolved to %d, want GOMAXPROCS default", got)
+	}
+	SetSeedWorkers(2)
+	if got := resolveSeedWorkers(0); got != 2 {
+		t.Errorf("knob resolution = %d, want 2", got)
+	}
+	if got := resolveSeedWorkers(7); got != 7 {
+		t.Errorf("config resolution = %d, want 7", got)
+	}
+}
+
+// TestSeedWorkersDeterministic pins the tentpole contract for BKST: the
+// finished Steiner tree — every grid segment, in order — and the
+// construction counters are byte-identical at every seed worker count,
+// on an instance large enough that the pair count clears
+// parallelSeedMin and the parallel evaluation really runs.
+func TestSeedWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	in := randomInstance(rand.New(rand.NewSource(3)), 100, 40)
+	for _, eps := range []float64{0.1, 1.0} {
+		b := core.UpperOnly(in, eps)
+		cSerial := NewCounters(nil)
+		want, err := BKSTBuild(context.Background(), in, b, Config{Counters: cSerial, SeedWorkers: 1})
+		if err != nil {
+			t.Fatalf("eps=%g serial: %v", eps, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			c := NewCounters(nil)
+			got, err := BKSTBuild(context.Background(), in, b, Config{Counters: c, SeedWorkers: w})
+			label := fmt.Sprintf("eps=%g workers=%d", eps, w)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if len(got.Edges()) != len(want.Edges()) {
+				t.Fatalf("%s: %d edges, want %d", label, len(got.Edges()), len(want.Edges()))
+			}
+			for i := range want.Edges() {
+				if got.Edges()[i] != want.Edges()[i] {
+					t.Fatalf("%s: edge %d = %+v, want %+v", label, i, got.Edges()[i], want.Edges()[i])
+				}
+			}
+			if got, want := c.CandidatesExamined.Load(), cSerial.CandidatesExamined.Load(); got != want {
+				t.Errorf("%s: candidates_examined %d, want %d", label, got, want)
+			}
+			if got, want := c.Embeds.Load(), cSerial.Embeds.Load(); got != want {
+				t.Errorf("%s: embeds %d, want %d", label, got, want)
+			}
+		}
+	}
+}

@@ -24,14 +24,18 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json
-//	benchjson -diff old.json new.json [-fail-over 20]
+//	benchjson -diff old.json new.json [-fail-over 20] [-require A,B]
 //
 // The -diff mode compares two committed reports benchmark by benchmark
 // (keyed by package + name) and prints per-benchmark ns/op deltas,
 // plus bytes/op deltas where both reports recorded allocations. With
 // -fail-over PCT it exits 1 when any benchmark's time or bytes
 // regressed by more than PCT percent; without it the diff is
-// informational only.
+// informational only. With -require, the listed benchmark names must
+// be present in the new report — the GOMAXPROCS "-N" suffix is
+// ignored, and a name covers its sub-benchmarks ("BenchmarkX" matches
+// "BenchmarkX/n=1000-4") — so a CI gate fails loudly when a hot-path
+// row silently drops out of the bench run instead of diffing nothing.
 //
 // Exit status: 0 on success, 1 when the input contains no benchmark
 // lines, the output cannot be written, or -fail-over tripped, 2 on
@@ -72,9 +76,10 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
 	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any ns/op or bytes/op regression exceeds this percent (0 = never fail)")
+	require := flag.String("require", "", "with -diff: comma-separated benchmark names that must appear in the new report (-N suffix ignored; a name covers its sub-benchmarks); exit 1 listing any missing")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
-		fmt.Fprintln(os.Stderr, "       benchjson -diff [-fail-over PCT] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       benchjson -diff [-fail-over PCT] [-require A,B] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -96,8 +101,16 @@ func main() {
 		for _, l := range lines {
 			fmt.Println(l)
 		}
+		fail := false
+		if missing := missingRequired(new_, splitRequire(*require)); len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: required benchmark(s) missing from %s: %s\n", flag.Arg(1), strings.Join(missing, ", "))
+			fail = true
+		}
 		if *failOver > 0 && regressed > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%\n", regressed, *failOver)
+			fail = true
+		}
+		if fail {
 			os.Exit(1)
 		}
 		return
@@ -163,6 +176,53 @@ func readReport(path string) (*Report, error) {
 
 // benchKey identifies a benchmark across reports.
 func benchKey(b Benchmark) string { return b.Package + " " + b.Name }
+
+// splitRequire parses the -require flag value into clean names.
+func splitRequire(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// stripProcs removes the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names, so requirements written without it match reports
+// recorded on any machine.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// missingRequired returns the required names, in input order, that no
+// benchmark of the report satisfies. A requirement is satisfied by a
+// benchmark whose -N-stripped name equals it, or starts with it plus
+// "/" (a parent name covers all its sub-benchmarks).
+func missingRequired(rep *Report, required []string) []string {
+	var missing []string
+	for _, want := range required {
+		found := false
+		for _, b := range rep.Benchmarks {
+			name := stripProcs(b.Name)
+			if name == want || strings.HasPrefix(name, want+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	return missing
+}
 
 // diffReports compares old and new per benchmark — ns/op always,
 // bytes/op when both reports recorded it — in new-report order, then

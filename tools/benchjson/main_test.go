@@ -79,6 +79,62 @@ func TestParseResultLineRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkA-4":  "BenchmarkA",
+		"BenchmarkA-16": "BenchmarkA",
+		"BenchmarkA":    "BenchmarkA",
+		"BenchmarkBKRUSRefresh/n=1000/workers=4-4": "BenchmarkBKRUSRefresh/n=1000/workers=4",
+		"BenchmarkX/mode=fast":                     "BenchmarkX/mode=fast",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitRequire(t *testing.T) {
+	if got := splitRequire(""); got != nil {
+		t.Errorf("empty flag parsed to %v", got)
+	}
+	got := splitRequire(" BenchmarkA , ,BenchmarkB/n=5,")
+	if len(got) != 2 || got[0] != "BenchmarkA" || got[1] != "BenchmarkB/n=5" {
+		t.Errorf("splitRequire = %v", got)
+	}
+}
+
+func TestMissingRequired(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkBKRUSRefresh/n=1000/workers=1-4"},
+		{Name: "BenchmarkBKRUSRefresh/n=1000/workers=4-4"},
+		{Name: "BenchmarkBKRUSSparse/n=10000-4"},
+	}}
+	// Exact sub-benchmark names, with and without the -N suffix in the
+	// requirement, plus a parent name covering its children.
+	for _, ok := range [][]string{
+		{"BenchmarkBKRUSRefresh/n=1000/workers=1"},
+		{"BenchmarkBKRUSRefresh"},
+		{"BenchmarkBKRUSRefresh/n=1000", "BenchmarkBKRUSSparse"},
+	} {
+		if m := missingRequired(rep, ok); m != nil {
+			t.Errorf("require %v reported missing %v", ok, m)
+		}
+	}
+	// A parent name must not match by bare string prefix: the boundary
+	// is a "/" separator.
+	m := missingRequired(rep, []string{"BenchmarkBKRUSRef", "BenchmarkBKRUSSparse/n=500", "BenchmarkGone"})
+	want := []string{"BenchmarkBKRUSRef", "BenchmarkBKRUSSparse/n=500", "BenchmarkGone"}
+	if len(m) != len(want) {
+		t.Fatalf("missing = %v, want %v", m, want)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("missing[%d] = %q, want %q", i, m[i], want[i])
+		}
+	}
+}
+
 func TestDiffReports(t *testing.T) {
 	old := &Report{Benchmarks: []Benchmark{
 		{Name: "BenchmarkA-4", Package: "p", NsPerOp: 100},
