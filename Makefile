@@ -12,9 +12,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# the thirteen domain-invariant analyzers (floatcmp, maporder,
+# the seventeen domain-invariant analyzers (floatcmp, maporder,
 # wallclock, obsgate, ctxpoll, parallelgate, waitpair, sharedwrite,
-# errdrop, detflow, ctxflow, allocloop, lockorder); see
+# errdrop, detflow, ctxflow, allocloop, lockorder, indexbound,
+# nilflow, intwidth, chanleak); see
 # internal/analysis and the "Code invariants" section of README.md.
 # The interprocedural analyzers load the whole module at once, so the
 # run carries a wall-clock budget (seconds) to catch fixed-point

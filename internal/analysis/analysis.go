@@ -1,5 +1,5 @@
 // Package analysis is a small stdlib-only static-analysis framework
-// plus the thirteen domain analyzers that machine-check this
+// plus the seventeen domain analyzers that machine-check this
 // repository's code invariants. The function-local analyzers:
 //
 //   - floatcmp: geometric weights are float64 and must never be
@@ -38,6 +38,27 @@
 //     callees; scratch buffers with grow guards are the approved way.
 //   - lockorder: the module-wide lock-acquisition-order graph over
 //     named mutex classes must be acyclic.
+//
+// The value-flow analyzers (built on the SSA-lite interval engine of
+// interval.go — an interval abstract domain with len-relative bounds,
+// branch-condition refinement, and loop widening — with argument and
+// return abstractions exchanged through the module fixed point of
+// intervalmod.go):
+//
+//   - indexbound: subscripts and slice expressions in the hot kernel
+//     packages must carry no positive evidence of being out of
+//     bounds; the worker lo:hi partition arithmetic is the headline
+//     client.
+//   - nilflow: pointer derefs, field accesses through pointers, and
+//     map writes must be dominated by a nil check whenever the value
+//     is nil on some path; the obs layer's nil-gated instruments are
+//     the proved-clean idiom.
+//   - intwidth: n*n-scale size computations must be provably 64-bit —
+//     width pins per hot package, and every narrowing conversion must
+//     be clamp-proved or boundary-guarded.
+//   - chanleak: spawned goroutines whose only exits are channel ops
+//     must have a pairing close/receive/send reachable on every
+//     spawner path, directly or through callee channel-op summaries.
 //
 // The framework loads packages with `go list` (syntax via go/parser,
 // types via go/types and the toolchain's export data), runs each
@@ -105,6 +126,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding a reasoned //lint:ignore directive
+	// covers. Run drops these; RunAll keeps them flagged so machine
+	// consumers (lint -format json) can audit the suppression load.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -116,6 +141,21 @@ func (d Diagnostic) String() string {
 // surviving diagnostics: suppressed findings are dropped, malformed
 // suppressions are reported, and the result is sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	all := RunAll(pkg, analyzers)
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// RunAll is Run without the suppression filter: findings a reasoned
+// //lint:ignore covers are kept with Suppressed set, so a machine
+// consumer sees the full finding load including what the tree chose to
+// pin.
+func RunAll(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
@@ -193,7 +233,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
 	return out
 }
 
-// applySuppressions drops suppressed findings from diags in place and
+// applySuppressions flags suppressed findings in diags in place and
 // returns extra diagnostics about malformed or unused directives. Only
 // directives naming one of the analyzers that actually ran can be
 // reported as unused.
@@ -207,19 +247,13 @@ func applySuppressions(pkg *Package, ran []*Analyzer, diags *[]Diagnostic) []Dia
 	}
 	var extra []Diagnostic
 	used := make([]bool, len(ignores))
-	kept := (*diags)[:0]
-	for _, d := range *diags {
-		suppressed := false
+	for j, d := range *diags {
 		for i, ig := range ignores {
 			if ig.analyzer == d.Analyzer && ig.reason != "" && ig.covers(d.Pos) {
-				suppressed, used[i] = true, true
+				(*diags)[j].Suppressed, used[i] = true, true
 			}
 		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
 	}
-	*diags = kept
 	for i, ig := range ignores {
 		switch {
 		case ig.analyzer == "" || ig.reason == "":
@@ -256,6 +290,7 @@ func All() []*Analyzer {
 		FloatCmp, MapOrder, WallClock, ObsGate,
 		CtxPoll, ParallelGate, WaitPair, SharedWrite, ErrDrop,
 		DetFlow, CtxFlow, AllocLoop, LockOrder,
+		IndexBound, NilFlow, IntWidth, ChanLeak,
 	}
 }
 

@@ -191,6 +191,24 @@ func TestLockOrderFixture(t *testing.T) {
 	checkFixture(t, LockOrder, filepath.Join("testdata", "lockorder"), "repro/internal/serve")
 }
 
+func TestIndexBoundFixture(t *testing.T) {
+	// The fake import path makes the fixture count as a hot package
+	// whose subscripts carry proof obligations.
+	checkFixture(t, IndexBound, filepath.Join("testdata", "indexbound"), "repro/internal/core")
+}
+
+func TestNilFlowFixture(t *testing.T) {
+	checkFixture(t, NilFlow, filepath.Join("testdata", "nilflow"), "repro/internal/core")
+}
+
+func TestIntWidthFixture(t *testing.T) {
+	checkFixture(t, IntWidth, filepath.Join("testdata", "intwidth"), "repro/internal/core")
+}
+
+func TestChanLeakFixture(t *testing.T) {
+	checkFixture(t, ChanLeak, filepath.Join("testdata", "chanleak"), "repro/internal/core")
+}
+
 // TestAppliesTo pins the per-analyzer package allowlists.
 func TestAppliesTo(t *testing.T) {
 	cases := []struct {
@@ -250,6 +268,18 @@ func TestAppliesTo(t *testing.T) {
 		{DetFlow, "repro/internal/experiments", false}, // times and prints freely
 		{CtxFlow, "repro/internal/core", true},
 		{CtxFlow, "repro/internal/serve", true},
+		// Value-flow analyzers. The kernel provers cover the six hot
+		// construction packages; nilflow adds the gated-observation and
+		// serving layers (nil receivers are their core idiom); chanleak
+		// adds every package that spawns goroutines against channels.
+		{IndexBound, "repro/internal/core", true},
+		{IndexBound, "repro/internal/serve", false}, // no kernel index math
+		{NilFlow, "repro/internal/obs", true},
+		{NilFlow, "repro/cmd/bmstree", false}, // binaries fail loudly anyway
+		{IntWidth, "repro/internal/graph", true},
+		{IntWidth, "repro/internal/obs", false}, // counters are int64 end to end
+		{ChanLeak, "repro/internal/serve", true},
+		{ChanLeak, "repro/internal/obs", false}, // records in-line, never spawns
 		{CtxFlow, "repro/internal/geom", false}, // matrix fill takes no ctx by design
 		{AllocLoop, "repro/internal/core", true},
 		{AllocLoop, "repro/internal/steiner", true},

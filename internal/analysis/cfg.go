@@ -154,7 +154,33 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		// Assignments, declarations, expression statements, go
 		// statements, sends, inc/dec: straight-line nodes.
 		b.add(s)
+		if isPanicStmt(s) {
+			// A panic statement unwinds through the defer chain and
+			// never falls through, exactly like a return: ending the
+			// block here lets branch guards of the form
+			// `if bad { panic(...) }` keep their refinement on the
+			// surviving path instead of joining the bad state back in.
+			b.edge(b.cur, b.ret)
+			b.cur = b.newBlock("unreachable")
+		}
 	}
+}
+
+// isPanicStmt reports whether s is a call to the predeclared panic.
+// The builder has no type info, so a shadowing local named "panic"
+// would be misread; the repository has none, and the failure mode is
+// only an over-eager block split.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
 }
 
 func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {

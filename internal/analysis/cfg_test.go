@@ -309,8 +309,8 @@ func TestRegistryREADMESync(t *testing.T) {
 		}
 		want[a.Name] = true
 	}
-	if len(want) != 13 {
-		t.Errorf("registry has %d analyzers, want 13", len(want))
+	if len(want) != 17 {
+		t.Errorf("registry has %d analyzers, want 17", len(want))
 	}
 
 	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))

@@ -1,0 +1,318 @@
+package analysis
+
+// indexbound proves every slice/array subscript and slice expression in
+// the hot construction packages stays within [0, len) — or says exactly
+// why it cannot. The headline client is the PR9 worker-partition idiom:
+//
+//	go func(g int) {
+//		for i := g; i < len(items); i += nw { items[i] = ... }
+//	}(g)
+//
+// which proves from the call-site seed (g ∈ [0, nw-1]) plus the loop
+// guard's len-relative refinement (i ≤ len(items)-1).
+//
+// Classification (DESIGN.md §15):
+//
+//   - PROVED: the interval engine shows 0 ≤ lo and hi < len(base)
+//     (or hi ≤ len for slice bounds). No diagnostic.
+//   - DATA-EXEMPT: the subscript's value derives from data loads (slice
+//     elements, struct fields, receives). Intervals prove control
+//     arithmetic; data-dependent subscripts are the province of the
+//     conformance and property suites. No diagnostic.
+//   - GUARDED-EXEMPT: the subscript is bounded by a dominating guard
+//     against a *different* length or a plain variable — sufficiency is
+//     a data invariant (e.g. two slices built to equal length),
+//     witnessed dynamically by the partition property tests. The lower
+//     bound must still prove ≥ 0. No diagnostic.
+//   - UNKNOWN-EXEMPT: the engine has no evidence at all (indexes
+//     arriving through heap.Interface callbacks, union-find ids,
+//     search results). An obligation with no evidence is a data
+//     invariant, same as GUARDED — exempt, witnessed dynamically.
+//   - FINDING: positive evidence of a hazard — a constant lower bound
+//     below zero that no guard removed, an upper bound that is
+//     off-by-one against the subscript's own base (hi = len(base)+c
+//     with c past the allowed slack), or constant slice bounds that
+//     are provably inverted.
+//
+// The asymmetry is deliberate: the analyzer's FINDINGs are claims the
+// interval engine can defend ("this index is -1 when the loop exhausts
+// without a match"), never absence-of-proof noise. What it cannot
+// defend it classifies, and the classification is observable through
+// the indexBoundHook so the golden tests can assert that the partition
+// kernels are PROVED rather than merely silent.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// indexBoundHook, when non-nil, observes the classification of every
+// checked subscript: "proved", "data", "guarded", "unknown", or
+// "finding". Tests use it to assert the partition kernels PROVE rather
+// than fall through to an exemption.
+var indexBoundHook func(pos token.Pos, class string)
+
+func indexBoundClass(pos token.Pos, class string) {
+	if indexBoundHook != nil {
+		indexBoundHook(pos, class)
+	}
+}
+
+var indexBoundPackages = []string{
+	"repro/internal/core",
+	"repro/internal/exact",
+	"repro/internal/steiner",
+	"repro/internal/geom",
+	"repro/internal/graph",
+	"repro/internal/engine",
+}
+
+// IndexBound reports slice/array subscripts in the hot packages that
+// are not provably in-bounds under the dominating guards.
+var IndexBound = &Analyzer{
+	Name: "indexbound",
+	Doc:  "control-derived slice/array subscripts in hot packages must be provably within [0, len) under dominating guards",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, indexBoundPackages...)
+	},
+	Run: runIndexBound,
+}
+
+func runIndexBound(p *Pass) {
+	forEachFuncAbs(p, func(fa *funcAbs, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // visited with its own seeded funcAbs
+			case *ast.IndexExpr:
+				checkIndexExpr(p, fa, n)
+			case *ast.SliceExpr:
+				checkSliceExpr(p, fa, n)
+			}
+			return true
+		})
+	})
+}
+
+// forEachFuncAbs visits every declared function body in the pass's
+// files with its value-flow result, then every function literal inside
+// it with a call-site/capture-seeded result, recursively. The visitor
+// must not descend into nested literals itself.
+func forEachFuncAbs(p *Pass, visit func(fa *funcAbs, body *ast.BlockStmt)) {
+	m := p.module()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var fa *funcAbs
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				if fn := m.byObj[obj]; fn != nil {
+					fa = m.funcAbsFor(fn)
+				}
+			}
+			if fa == nil {
+				fa = analyzeFunc(p, fd.Body, paramObjects(p, fd), m, nil, nil)
+			}
+			visitWithLits(p, m, fa, fd.Body, visit)
+		}
+	}
+}
+
+func visitWithLits(p *Pass, m *Module, fa *funcAbs, body *ast.BlockStmt, visit func(*funcAbs, *ast.BlockStmt)) {
+	visit(fa, body)
+	// Call-argument map: a literal that is invoked where it appears
+	// (including `go lit(args)` / `defer lit(args)`) gets its parameters
+	// seeded from the call's arguments.
+	litCalls := map[*ast.FuncLit][]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				args := call.Args
+				if args == nil {
+					args = []ast.Expr{}
+				}
+				litCalls[lit] = args
+			}
+		}
+		return true
+	})
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	for _, lit := range lits {
+		inner := litAbs(p, fa, lit, litCalls[lit], m)
+		visitWithLits(p, m, inner, lit.Body, visit)
+	}
+}
+
+// indexableBase reports whether t can be subscripted with an integer
+// (slice, array, pointer-to-array, string), excluding maps.
+func indexableBase(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func checkIndexExpr(p *Pass, fa *funcAbs, e *ast.IndexExpr) {
+	baseT := p.TypeOf(e.X)
+	if !indexableBase(baseT) {
+		return
+	}
+	if it := p.TypeOf(e.Index); it == nil || !isIntType(it) {
+		return // generic instantiation or untypable
+	}
+	env := fa.envAt(e.Pos())
+	iv, pv := fa.evalIval(env, e.Index)
+	if pv == provData {
+		indexBoundClass(e.Index.Pos(), "data")
+		return // data-exempt: conformance/property territory
+	}
+	reportBoundViolation(p, fa, env, e.X, e.Index, iv, -1, "index")
+}
+
+func checkSliceExpr(p *Pass, fa *funcAbs, e *ast.SliceExpr) {
+	baseT := p.TypeOf(e.X)
+	if !indexableBase(baseT) {
+		return
+	}
+	env := fa.envAt(e.Pos())
+	bounds := []ast.Expr{e.Low, e.High, e.Max}
+	ivals := make([]ival, len(bounds))
+	for i, b := range bounds {
+		if b == nil {
+			continue
+		}
+		iv, pv := fa.evalIval(env, b)
+		if pv == provData {
+			indexBoundClass(e.Pos(), "data")
+			return // any data-derived bound exempts the whole expression
+		}
+		ivals[i] = iv
+	}
+	// 0 ≤ lo: finding only on positive evidence of negativity.
+	if e.Low != nil {
+		if ivals[0].lo.set && ivals[0].lo.kind == bkConst && ivals[0].lo.c < 0 && !geZeroBound(env, ivals[0].lo) {
+			p.Reportf(e.Low.Pos(), "slice lower bound %s can be %d: provably negative on some path",
+				types.ExprString(e.Low), ivals[0].lo.c)
+			return
+		}
+	}
+	// hi ≤ len(base) — a slice bound may equal the length, hence slack 0.
+	for i, b := range bounds[1:] {
+		if b == nil {
+			continue
+		}
+		if done := reportBoundViolation(p, fa, env, e.X, b, ivals[i+1], 0, "slice upper bound"); done {
+			return
+		}
+	}
+	// lo ≤ hi: provably-inverted constant bounds are the only static
+	// claim worth making; anything symbolic is ordered by the same data
+	// invariants the upper-bound exemptions lean on. The canonical
+	// chunked form hi = lo + nonneg is recognized so the hook records a
+	// proof rather than an exemption.
+	if e.Low != nil && e.High != nil {
+		switch {
+		case leqBound(env, ivals[0].hi, ivals[1].lo, 2) || hiIsLoPlusNonneg(fa, env, e.Low, e.High):
+			indexBoundClass(e.Pos(), "proved")
+		default:
+			lc, lok := constOf(ivals[0])
+			hc, hok := constOf(ivals[1])
+			if lok && hok && lc > hc {
+				p.Reportf(e.Pos(), "slice bounds %s:%s are provably inverted (%d > %d)",
+					types.ExprString(e.Low), types.ExprString(e.High), lc, hc)
+			} else {
+				indexBoundClass(e.Pos(), "guarded")
+			}
+		}
+	}
+}
+
+// reportBoundViolation checks idx against len(base)+slack: slack −1
+// for a subscript (idx < len), 0 for a slice bound (idx ≤ len).
+// Reports and returns true on a finding; false means proved or exempt.
+func reportBoundViolation(p *Pass, fa *funcAbs, env *absEnv, base, idx ast.Expr, iv ival, slack int64, what string) bool {
+	// Lower bound: a finding needs positive evidence — a constant
+	// floor below zero that no dominating guard lifted. An unknown
+	// floor is a data invariant (UNKNOWN-EXEMPT), not a claim.
+	if iv.lo.set && iv.lo.kind == bkConst && iv.lo.c < 0 && !geZeroBound(env, iv.lo) {
+		p.Reportf(idx.Pos(), "%s %s into %s can be %d: provably negative on some path",
+			what, types.ExprString(idx), types.ExprString(base), iv.lo.c)
+		return true
+	}
+	loProved := iv.lo.set && geZeroBound(env, iv.lo)
+
+	// Upper bound: try the proof through every available length form.
+	key, haveKey := fa.canonicalKey(base)
+	hiProved := false
+	if iv.hi.set {
+		if lv, ok := fa.evalLen(env, base); ok && lv.lo.set {
+			hiProved = leqBound(env, iv.hi, lv.lo.addConst(slack), 2)
+		}
+		if !hiProved && haveKey {
+			hiProved = leqBound(env, iv.hi, lenBound(key).addConst(slack), 2)
+		}
+	}
+	if hiProved && loProved {
+		indexBoundClass(idx.Pos(), "proved")
+		return false
+	}
+	// Off-by-one against the subscript's own base: hi = len(base)+c
+	// with c past the slack is a definite hazard, not a guard — the
+	// index reaches len(base) itself on the loop's last pass.
+	if !hiProved && haveKey && iv.hi.set && iv.hi.kind == bkLen && iv.hi.key == key && iv.hi.c > slack {
+		p.Reportf(idx.Pos(), "%s %s can reach len(%s)%+d: off-by-one against its own base",
+			what, types.ExprString(idx), types.ExprString(base), iv.hi.c)
+		return true
+	}
+	// Everything else is exempt: bounded by another length or a
+	// variable (GUARDED — sufficiency is a data invariant like
+	// n == len(pts), witnessed by the property tests), or wholly
+	// unknown (UNKNOWN — heap callbacks, ids, search results).
+	switch {
+	case hiProved || iv.hi.set:
+		indexBoundClass(idx.Pos(), "guarded")
+	default:
+		indexBoundClass(idx.Pos(), "unknown")
+	}
+	return false
+}
+
+// hiIsLoPlusNonneg recognizes hi written as lo + k with k provably
+// non-negative — the canonical chunked-partition form.
+func hiIsLoPlusNonneg(fa *funcAbs, env *absEnv, lo, hi ast.Expr) bool {
+	b, ok := ast.Unparen(hi).(*ast.BinaryExpr)
+	if !ok || b.Op != token.ADD {
+		return false
+	}
+	loS := types.ExprString(ast.Unparen(lo))
+	var rest ast.Expr
+	switch {
+	case types.ExprString(ast.Unparen(b.X)) == loS:
+		rest = b.Y
+	case types.ExprString(ast.Unparen(b.Y)) == loS:
+		rest = b.X
+	default:
+		return false
+	}
+	rv, _ := fa.evalIval(env, rest)
+	return rv.lo.set && geZeroBound(env, rv.lo)
+}

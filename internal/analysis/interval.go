@@ -1,0 +1,1945 @@
+package analysis
+
+// interval.go is the SSA-lite value-flow layer: a symbolic interval
+// abstract domain interpreted flow-sensitively over the cfg.go graphs,
+// with the reaching-defs machinery of dataflow.go supplying variable
+// versioning. It is the third rung of the framework (function-local
+// syntax -> module summaries -> value flow) and the proof engine behind
+// indexbound, nilflow and intwidth.
+//
+// The domain. Each integer-typed local variable carries an interval
+// whose bounds are symbolic:
+//
+//	bound ::= c | len(K) + c | var(v) + c
+//
+// where K is a canonical slice path (a local variable, or a short
+// selector chain rooted at one, e.g. "e.p") and v is another local.
+// len-relative bounds are the load-bearing form: the partition idiom
+// `for i := g; i < len(mu); i += w { mu[i] }` proves because the loop
+// head's dominating guard refines i's upper bound to len(mu)-1 on the
+// body edge. var-relative bounds never prove an obligation by
+// themselves; they record that a guard exists, which indexbound uses to
+// separate "guarded by a data invariant" from "not guarded at all".
+//
+// Alongside variable intervals the state tracks:
+//
+//   - length facts: an interval on len(K) itself, seeded by make(_, n)
+//     (len is exactly n's interval), slice expressions (hi-lo), literals
+//     and appends, and refined by guards like `if len(s) > 0`;
+//   - nil facts: a three-point nil lattice per pointer/map/chan/func
+//     local, refined by `x == nil` / `x != nil` branches (nilflow's
+//     input);
+//   - provenance: whether a variable's value derives purely from
+//     control arithmetic (constants, lengths, parameters, loop
+//     counters) or from data loads (slice elements, struct fields, map
+//     reads, channel receives). Only control-derived indexes carry a
+//     static proof obligation; data-derived subscripts are the province
+//     of the conformance and property suites (DESIGN.md §15).
+//
+// Termination: the per-function fixed point widens a block's changing
+// bounds to unbounded after widenAfter visits, and the interprocedural
+// summary fixed point widens param/return intervals after two rounds.
+// Soundness erosions are deliberate and documented: function literals
+// other than immediately-invoked/go/defer ones are analyzed with top
+// seeds, captured variables assigned inside any literal (or
+// address-taken) are never tracked, and selector-rooted length keys die
+// at every call.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// boundKind discriminates the symbolic forms of one bound.
+type boundKind uint8
+
+const (
+	bkConst boundKind = iota // c
+	bkLen                    // len(key) + c
+	bkVar                    // var(obj) + c
+)
+
+// symKey names a slice-valued path: a root local/param object plus an
+// optional selector suffix (".p" for e.p). Comparable, so it can key
+// fact maps.
+type symKey struct {
+	root types.Object
+	path string
+}
+
+func (k symKey) String() string {
+	if k.root == nil {
+		return "?"
+	}
+	return k.root.Name() + k.path
+}
+
+// sbound is one symbolic bound. The zero value is "unbounded".
+type sbound struct {
+	set  bool
+	kind boundKind
+	key  symKey       // bkLen
+	obj  types.Object // bkVar
+	c    int64
+}
+
+func constBound(c int64) sbound      { return sbound{set: true, kind: bkConst, c: c} }
+func lenBound(k symKey) sbound       { return sbound{set: true, kind: bkLen, key: k} }
+func varBound(o types.Object) sbound { return sbound{set: true, kind: bkVar, obj: o} }
+
+// sameBase reports whether two bounds share a symbolic base, making
+// their constant parts directly comparable.
+func (b sbound) sameBase(o sbound) bool {
+	if b.kind != o.kind {
+		return false
+	}
+	switch b.kind {
+	case bkConst:
+		return true
+	case bkLen:
+		return b.key == o.key
+	default:
+		return b.obj == o.obj
+	}
+}
+
+// satOverflow is the magnitude past which bound arithmetic gives up:
+// anything this large came from runaway widening arithmetic, not a
+// provable program fact.
+const satOverflow = int64(1) << 60
+
+// addConst returns b shifted by d, or unbounded on saturation.
+func (b sbound) addConst(d int64) sbound {
+	if !b.set {
+		return sbound{}
+	}
+	c := b.c + d
+	if c > satOverflow || c < -satOverflow {
+		return sbound{}
+	}
+	b.c = c
+	return b
+}
+
+func (b sbound) String() string {
+	if !b.set {
+		return "_"
+	}
+	switch b.kind {
+	case bkLen:
+		return fmt.Sprintf("len(%s)%+d", b.key, b.c)
+	case bkVar:
+		return fmt.Sprintf("%s%+d", b.obj.Name(), b.c)
+	default:
+		return fmt.Sprintf("%d", b.c)
+	}
+}
+
+// ival is one interval; unset bounds are infinities.
+type ival struct{ lo, hi sbound }
+
+var topIval = ival{}
+
+func constIval(c int64) ival { return ival{lo: constBound(c), hi: constBound(c)} }
+
+func (v ival) String() string { return "[" + v.lo.String() + "," + v.hi.String() + "]" }
+
+// joinLo is the lower bound of the union. Non-comparable bases fall
+// back to the constant floor when one side has it: len(K)+c is at least
+// c because lengths are non-negative.
+func joinLo(a, b sbound) sbound {
+	if !a.set || !b.set {
+		return sbound{}
+	}
+	if a.sameBase(b) {
+		if b.c < a.c {
+			return b
+		}
+		return a
+	}
+	ac, aok := a.constFloor()
+	bc, bok := b.constFloor()
+	if aok && bok {
+		if bc < ac {
+			ac = bc
+		}
+		return constBound(ac)
+	}
+	return sbound{}
+}
+
+// constFloor returns a constant lower estimate of the bound: c itself,
+// or len(K)+c >= c.
+func (b sbound) constFloor() (int64, bool) {
+	if !b.set || b.kind == bkVar {
+		return 0, b.set && b.kind != bkVar
+	}
+	return b.c, true
+}
+
+// joinHi is the upper bound of the union; there is no constant ceiling
+// trick (lengths and vars are unbounded above).
+func joinHi(a, b sbound) sbound {
+	if !a.set || !b.set || !a.sameBase(b) {
+		return sbound{}
+	}
+	if b.c > a.c {
+		return b
+	}
+	return a
+}
+
+func joinIval(a, b ival) ival { return ival{lo: joinLo(a.lo, b.lo), hi: joinHi(a.hi, b.hi)} }
+
+// widenIval drops the bounds that moved since the previous round; the
+// stable ones survive, which is what keeps `i := 0` floors through loop
+// back-edges.
+func widenIval(prev, next ival) ival {
+	if prev.lo != next.lo {
+		next.lo = sbound{}
+	}
+	if prev.hi != next.hi {
+		next.hi = sbound{}
+	}
+	return next
+}
+
+// meetLo/meetHi tighten an interval with new refinement information.
+func meetLo(cur, nb sbound) sbound {
+	if !nb.set {
+		return cur
+	}
+	if !cur.set {
+		return nb
+	}
+	if cur.sameBase(nb) {
+		if nb.c > cur.c {
+			return nb
+		}
+		return cur
+	}
+	// Keep the refinement: guard information beats stale arithmetic for
+	// the proof obligations this layer answers.
+	return nb
+}
+
+func meetHi(cur, nb sbound) sbound {
+	if !nb.set {
+		return cur
+	}
+	if !cur.set {
+		return nb
+	}
+	if cur.sameBase(nb) {
+		if nb.c < cur.c {
+			return nb
+		}
+		return cur
+	}
+	if cur.kind == bkLen && nb.kind != bkLen {
+		return cur // a len-relative ceiling is worth more than a var one
+	}
+	return nb
+}
+
+// nilState is the three-point nil lattice plus a witness position for
+// diagnostics.
+type nilState struct {
+	mayNil    bool
+	mayNonNil bool
+	witness   token.Pos // a position where nil can originate
+}
+
+func nilBottom() nilState         { return nilState{} }
+func nilYes(w token.Pos) nilState { return nilState{mayNil: true, witness: w} }
+func nilNo() nilState             { return nilState{mayNonNil: true} }
+func nilMaybe(w token.Pos) nilState {
+	return nilState{mayNil: true, mayNonNil: true, witness: w}
+}
+
+func joinNil(a, b nilState) nilState {
+	out := nilState{mayNil: a.mayNil || b.mayNil, mayNonNil: a.mayNonNil || b.mayNonNil}
+	if a.mayNil && a.witness != token.NoPos {
+		out.witness = a.witness
+	} else if b.mayNil {
+		out.witness = b.witness
+	}
+	return out
+}
+
+// prov is value provenance: control arithmetic vs data loads.
+type prov uint8
+
+const (
+	provControl prov = iota
+	provData
+)
+
+func joinProv(a, b prov) prov {
+	if a == provData || b == provData {
+		return provData
+	}
+	return provControl
+}
+
+// absEnv is the abstract state at one program point.
+type absEnv struct {
+	iv   map[types.Object]ival
+	pv   map[types.Object]prov
+	nl   map[types.Object]nilState
+	lens map[symKey]ival // facts about len(K) itself
+}
+
+func newEnv() *absEnv {
+	return &absEnv{
+		iv:   map[types.Object]ival{},
+		pv:   map[types.Object]prov{},
+		nl:   map[types.Object]nilState{},
+		lens: map[symKey]ival{},
+	}
+}
+
+func (e *absEnv) clone() *absEnv {
+	out := newEnv()
+	for k, v := range e.iv {
+		out.iv[k] = v
+	}
+	for k, v := range e.pv {
+		out.pv[k] = v
+	}
+	for k, v := range e.nl {
+		out.nl[k] = v
+	}
+	for k, v := range e.lens {
+		out.lens[k] = v
+	}
+	return out
+}
+
+// joinInto merges src into e (union of behaviors), reporting change.
+// Variables absent from one side are top/bottom per map semantics:
+// absent iv = top interval, absent nil = bottom (no evidence).
+func (e *absEnv) joinInto(src *absEnv) bool {
+	changed := false
+	for k, v := range e.iv {
+		sv, ok := src.iv[k]
+		if !ok {
+			sv = topIval
+		}
+		nv := joinIval(v, sv)
+		if nv != v {
+			e.iv[k] = nv
+			changed = true
+		}
+	}
+	for k, sv := range src.iv {
+		if _, ok := e.iv[k]; !ok {
+			// First flow into this join for k: adopt, do not widen to
+			// top (e's absence means "unreached", not "unknown").
+			e.iv[k] = sv
+			changed = true
+		}
+	}
+	for k, sv := range src.pv {
+		nv := joinProv(e.pv[k], sv)
+		if nv != e.pv[k] {
+			e.pv[k] = nv
+			changed = true
+		}
+	}
+	for k, sv := range src.nl {
+		nv := joinNil(e.nl[k], sv)
+		if nv != e.nl[k] {
+			e.nl[k] = nv
+			changed = true
+		}
+	}
+	for k, v := range e.lens {
+		sv, ok := src.lens[k]
+		if !ok {
+			sv = topIval
+		}
+		nv := joinIval(v, sv)
+		if nv != v {
+			e.lens[k] = nv
+			changed = true
+		}
+	}
+	for k, sv := range src.lens {
+		if _, ok := e.lens[k]; !ok {
+			e.lens[k] = sv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// widenFrom widens e against its previous-round value.
+func (e *absEnv) widenFrom(prev *absEnv) {
+	for k, v := range e.iv {
+		if pv, ok := prev.iv[k]; ok {
+			e.iv[k] = widenIval(pv, v)
+		}
+	}
+	for k, v := range e.lens {
+		if pv, ok := prev.lens[k]; ok {
+			e.lens[k] = widenIval(pv, v)
+		}
+	}
+}
+
+// killObj invalidates everything k's new value could change: its own
+// interval/nil/prov entries, every bound mentioning it as a var base,
+// every length key rooted at it, and every length fact whose bounds
+// mention it.
+func (e *absEnv) killObj(k types.Object) {
+	delete(e.iv, k)
+	delete(e.nl, k)
+	delete(e.pv, k)
+	mentions := func(b sbound) bool {
+		return b.set && ((b.kind == bkVar && b.obj == k) || (b.kind == bkLen && b.key.root == k))
+	}
+	for o, v := range e.iv {
+		if mentions(v.lo) {
+			v.lo = sbound{}
+		}
+		if mentions(v.hi) {
+			v.hi = sbound{}
+		}
+		e.iv[o] = v
+	}
+	for key, v := range e.lens {
+		if key.root == k {
+			delete(e.lens, key)
+			continue
+		}
+		if mentions(v.lo) {
+			v.lo = sbound{}
+		}
+		if mentions(v.hi) {
+			v.hi = sbound{}
+		}
+		e.lens[key] = v
+	}
+}
+
+// killSelectorLens drops every selector-rooted length key (depth >= 1):
+// a call can mutate any field reachable through a pointer, so facts
+// like len(e.p) do not survive it. Plain local keys do: a callee cannot
+// rebind a caller's local.
+func (e *absEnv) killSelectorLens() {
+	for key, v := range e.lens {
+		if key.path != "" {
+			delete(e.lens, key)
+			continue
+		}
+		drop := func(b sbound) sbound {
+			if b.set && b.kind == bkLen && b.key.path != "" {
+				return sbound{}
+			}
+			return b
+		}
+		v.lo, v.hi = drop(v.lo), drop(v.hi)
+		e.lens[key] = v
+	}
+	for o, v := range e.iv {
+		drop := func(b sbound) sbound {
+			if b.set && b.kind == bkLen && b.key.path != "" {
+				return sbound{}
+			}
+			return b
+		}
+		v.lo, v.hi = drop(v.lo), drop(v.hi)
+		e.iv[o] = v
+	}
+}
+
+// funcAbs is the finished value-flow result for one function body.
+type funcAbs struct {
+	p      *Pass
+	cfg    *funcCFG
+	body   *ast.BlockStmt
+	params []types.Object
+	in     []*absEnv // block-entry states, post fixed point
+	// volatile objects are never tracked: assigned inside a nested
+	// function literal or address-taken.
+	volatile map[types.Object]bool
+	// rangeAt maps a range head block index to its RangeStmt.
+	rangeAt map[int]*ast.RangeStmt
+	// litEnv snapshots the state at each function literal occurrence,
+	// for call-site seeding of immediately-invoked/go/defer literals.
+	litEnv map[*ast.FuncLit]*absEnv
+	// rets joins the interval of each result position over every
+	// return statement (nil when the function has no int results).
+	rets []ival
+	// nilRets joins the nil-state of each result position over every
+	// return statement, for the interprocedural half of nilflow.
+	nilRets []nilState
+	// seed holds caller-provided parameter intervals (module summaries
+	// or literal call sites).
+	seed map[types.Object]ival
+	// lenSeed holds caller-provided length facts for slice parameters.
+	lenSeed map[types.Object]ival
+	// entryExtra, when set, augments the entry state after parameter
+	// seeding — litAbs uses it to install captured-variable snapshots.
+	entryExtra func(*absEnv)
+	mod        *Module
+}
+
+// widenAfter is the visit count past which a loop-head join widens.
+const widenAfter = 2
+
+// analyzeFunc runs the abstract interpretation over one function body.
+// seed/lenSeed may be nil (top parameters).
+func analyzeFunc(p *Pass, body *ast.BlockStmt, params []types.Object, mod *Module, seed, lenSeed map[types.Object]ival) *funcAbs {
+	fa := &funcAbs{
+		p: p, body: body, params: params,
+		cfg:      buildCFG(body),
+		volatile: map[types.Object]bool{},
+		rangeAt:  map[int]*ast.RangeStmt{},
+		litEnv:   map[*ast.FuncLit]*absEnv{},
+		seed:     seed,
+		lenSeed:  lenSeed,
+		mod:      mod,
+	}
+	fa.findVolatile()
+	fa.findRanges()
+	fa.solve()
+	return fa
+}
+
+// findVolatile marks objects the tracker must never trust: assigned
+// (strongly) inside a nested function literal, or address-taken.
+func (fa *funcAbs) findVolatile() {
+	info := fa.p.Info
+	var inLit func(n ast.Node)
+	inLit = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range m.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							fa.volatile[obj] = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						fa.volatile[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fa.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inLit(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := rootObject(fa.p, n.X); obj != nil {
+					fa.volatile[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// findRanges maps range head blocks to their statements.
+func (fa *funcAbs) findRanges() {
+	ast.Inspect(fa.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if blk := fa.cfg.blockOf(rs.X.Pos()); blk != nil {
+			fa.rangeAt[blk.index] = rs
+		}
+		return true
+	})
+}
+
+// entryEnv builds the function-entry state from parameters and seeds.
+func (fa *funcAbs) entryEnv() *absEnv {
+	env := newEnv()
+	for _, obj := range fa.params {
+		t := obj.Type()
+		if isIntType(t) {
+			v := topIval
+			if fa.seed != nil {
+				if sv, ok := fa.seed[obj]; ok {
+					v = sv
+				}
+			}
+			env.iv[obj] = v
+			env.pv[obj] = provControl
+		}
+		if isSliceLike(t) && fa.lenSeed != nil {
+			if sv, ok := fa.lenSeed[obj]; ok {
+				env.lens[symKey{root: obj}] = sv
+			}
+		}
+	}
+	if fa.entryExtra != nil {
+		fa.entryExtra(env)
+	}
+	return env
+}
+
+// solve runs the worklist fixed point with widening at loop heads.
+func (fa *funcAbs) solve() {
+	nb := len(fa.cfg.blocks)
+	fa.in = make([]*absEnv, nb)
+	visits := make([]int, nb)
+	entry := fa.cfg.entry.index
+	fa.in[entry] = fa.entryEnv()
+
+	work := []int{entry}
+	inWork := make([]bool, nb)
+	inWork[entry] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		blk := fa.cfg.blocks[bi]
+		out := fa.transferBlock(blk, fa.in[bi].clone())
+		for si, succ := range blk.succs {
+			edge := fa.refineEdge(blk, si, out)
+			cur := fa.in[succ.index]
+			var changed bool
+			if cur == nil {
+				fa.in[succ.index] = edge.clone()
+				changed = true
+			} else {
+				// Past the widening threshold, snapshot the pre-join
+				// state: any bound the join moves is dropped to
+				// unbounded, so loop-carried arithmetic (i += nw pushing
+				// hi up every pass) cannot iterate forever. Bounds the
+				// join leaves alone — the guard-refined ceilings, the
+				// constant floors — survive.
+				var snap *absEnv
+				if visits[succ.index] >= widenAfter {
+					snap = cur.clone()
+				}
+				changed = cur.joinInto(edge)
+				if changed {
+					visits[succ.index]++
+					if snap != nil {
+						cur.widenFrom(snap)
+					}
+				}
+			}
+			if changed && !inWork[succ.index] {
+				work = append(work, succ.index)
+				inWork[succ.index] = true
+			}
+		}
+	}
+	// Unreached blocks (e.g. "unreachable" successors of returns) get
+	// empty states so envAt never nil-derefs.
+	for i := range fa.in {
+		if fa.in[i] == nil {
+			fa.in[i] = newEnv()
+		}
+	}
+}
+
+// transferBlock applies every node of the block to env, in order.
+func (fa *funcAbs) transferBlock(blk *cfgBlock, env *absEnv) *absEnv {
+	if rs, ok := fa.rangeAt[blk.index]; ok {
+		fa.transferRangeHead(rs, env)
+	}
+	for _, n := range blk.nodes {
+		fa.transferNode(n, env)
+	}
+	return env
+}
+
+// envAt replays the block containing pos up to (excluding) the node
+// that spans pos and returns the state there. The result is a fresh
+// clone the caller may mutate.
+//
+// A position inside a deferred call resolves to the registration
+// point, not the defer chain: Go evaluates the deferred function value
+// and its arguments when the defer statement executes, so the
+// registration-point state is the one that governs those expressions.
+// (The defer-chain copy of the call only models the exit-time effects
+// of running the call body during the fixed point.)
+func (fa *funcAbs) envAt(pos token.Pos) *absEnv {
+	blk := fa.cfg.blockOf(pos)
+	if blk != nil && blk.kind == "defer" {
+		if reg := fa.blockOfSkippingDefers(pos); reg != nil {
+			blk = reg
+		}
+	}
+	if blk == nil {
+		return newEnv()
+	}
+	env := fa.in[blk.index].clone()
+	if rs, ok := fa.rangeAt[blk.index]; ok {
+		fa.transferRangeHead(rs, env)
+	}
+	for _, n := range blk.nodes {
+		if n.Pos() <= pos && pos < n.End() {
+			break
+		}
+		if n.End() <= pos {
+			fa.transferNode(n, env)
+		}
+	}
+	return env
+}
+
+// blockOfSkippingDefers is blockOf restricted to non-defer-chain
+// blocks: for a pos inside `defer f(x)`, the innermost covering node is
+// the call copied into the defer chain, but the DeferStmt itself sits
+// in the ordinary block where it registers.
+func (fa *funcAbs) blockOfSkippingDefers(pos token.Pos) *cfgBlock {
+	var best *cfgBlock
+	var bestSpan token.Pos = -1
+	for _, blk := range fa.cfg.blocks {
+		if blk.kind == "defer" {
+			continue
+		}
+		for _, n := range blk.nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				span := n.End() - n.Pos()
+				if bestSpan < 0 || span < bestSpan {
+					best, bestSpan = blk, span
+				}
+			}
+		}
+	}
+	return best
+}
+
+// transferRangeHead binds the range key: over a slice/array/string the
+// key is confined to [0, len(X)-1] and is control-derived; the value is
+// a data load.
+func (fa *funcAbs) transferRangeHead(rs *ast.RangeStmt, env *absEnv) {
+	p := fa.p
+	t := p.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		if obj := p.Info.ObjectOf(id); obj != nil && !fa.volatile[obj] && isIntType(obj.Type()) {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+				v := ival{lo: constBound(0)}
+				if key, ok := fa.canonicalKey(rs.X); ok {
+					v.hi = lenBound(key).addConst(-1)
+				} else if n, ok := arrayLen(t); ok {
+					v.hi = constBound(n - 1)
+				}
+				env.iv[obj] = v
+				env.pv[obj] = provControl
+			default: // map, chan: no order, no interval
+				env.iv[obj] = topIval
+				env.pv[obj] = provData
+			}
+		}
+	}
+	if id, ok := rs.Value.(*ast.Ident); ok && id.Name != "_" {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			env.killObj(obj)
+			if isIntType(obj.Type()) {
+				env.iv[obj] = topIval
+				env.pv[obj] = provData
+			}
+			if isNilable(obj.Type()) {
+				env.nl[obj] = nilState{} // element loads carry no nil evidence
+			}
+		}
+	}
+}
+
+// transferNode applies one CFG node (statement or condition expression).
+func (fa *funcAbs) transferNode(n ast.Node, env *absEnv) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fa.transferAssign(n, env)
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			obj := fa.p.Info.ObjectOf(id)
+			if obj != nil && !fa.volatile[obj] && isIntType(obj.Type()) {
+				v, pv := fa.evalIval(env, n.X)
+				d := int64(1)
+				if n.Tok == token.DEC {
+					d = -1
+				}
+				env.killObj(obj)
+				env.iv[obj] = ival{lo: v.lo.addConst(d), hi: v.hi.addConst(d)}
+				env.pv[obj] = pv
+			} else if obj != nil {
+				env.killObj(obj)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					fa.transferValueSpec(vs, env)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		fa.noteCalls(n.X, env)
+	case *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+		fa.noteCalls(n, env)
+	case *ast.ReturnStmt:
+		fa.noteCalls(n, env)
+		fa.recordReturn(n, env)
+	case ast.Expr:
+		// Condition expressions carried by if.cond / for.head blocks:
+		// calls inside them still invalidate selector facts, and any
+		// literal inside gets its snapshot.
+		fa.noteCalls(n, env)
+	default:
+		fa.noteCalls(n, env)
+	}
+}
+
+// transferValueSpec handles `var x = e` / `var x T`.
+func (fa *funcAbs) transferValueSpec(vs *ast.ValueSpec, env *absEnv) {
+	for i, name := range vs.Names {
+		obj := fa.p.Info.ObjectOf(name)
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if i < len(vs.Values) {
+			rhs = vs.Values[i]
+		}
+		if rhs != nil {
+			fa.noteCalls(rhs, env)
+		}
+		// No initializer list at all means the declared zero value
+		// (rhs == nil, haveRhs == true); a missing position in a
+		// multi-value unpack means the value is unknown.
+		fa.assignObj(obj, rhs, vs.Values == nil || rhs != nil, env)
+	}
+}
+
+// transferAssign handles assignments and short declarations.
+func (fa *funcAbs) transferAssign(as *ast.AssignStmt, env *absEnv) {
+	for _, r := range as.Rhs {
+		fa.noteCalls(r, env)
+	}
+	// Compound ops: x += e etc. rewrite to x = x op e.
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			obj := fa.p.Info.ObjectOf(id)
+			if obj != nil && !fa.volatile[obj] && isIntType(obj.Type()) {
+				op := assignOp(as.Tok)
+				v := fa.evalBinary(env, op, as.Lhs[0], as.Rhs[0])
+				pv := joinProv(fa.provOf(env, as.Lhs[0]), fa.provOf(env, as.Rhs[0]))
+				env.killObj(obj)
+				env.iv[obj] = v
+				env.pv[obj] = pv
+				return
+			}
+		}
+		if obj := rootObject(fa.p, as.Lhs[0]); obj != nil {
+			if _, isIdent := ast.Unparen(as.Lhs[0]).(*ast.Ident); isIdent {
+				env.killObj(obj)
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		haveRhs := false
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs, haveRhs = as.Rhs[i], true
+		} else if len(as.Rhs) == 1 {
+			// Multi-value call / comma-ok: per-position values unknown.
+			rhs, haveRhs = nil, false
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := fa.p.Info.ObjectOf(l)
+			if obj == nil {
+				continue
+			}
+			fa.assignObj(obj, rhs, haveRhs, env)
+		default:
+			// x[i] = v, x.f = v: the binding of x is unchanged; len and
+			// interval facts survive an element/field write, except that
+			// a field write invalidates selector keys rooted at x.
+			if obj := rootObject(fa.p, lhs); obj != nil {
+				if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+					for key := range env.lens {
+						if key.root == obj && key.path != "" {
+							delete(env.lens, key)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// assignObj rebinds obj to the abstraction of rhs (or to the
+// zero-value/top when rhs is absent). The right-hand side is abstracted
+// in the PRE-assignment state — `i = i + 1` reads the old i — and any
+// resulting bound that mentions obj itself is stripped before the store:
+// after `sn = append(sn, v)` a fact "len(sn) = len(sn)+1" would refer to
+// the post-state on both sides, which is circular nonsense.
+func (fa *funcAbs) assignObj(obj types.Object, rhs ast.Expr, haveRhs bool, env *absEnv) {
+	if fa.volatile[obj] {
+		env.killObj(obj)
+		return
+	}
+	t := obj.Type()
+	switch {
+	case isIntType(t):
+		if !haveRhs {
+			env.killObj(obj)
+			env.iv[obj] = topIval
+			env.pv[obj] = provData
+			return
+		}
+		if rhs == nil { // var x int: zero value
+			env.killObj(obj)
+			env.iv[obj] = constIval(0)
+			env.pv[obj] = provControl
+			return
+		}
+		v, pv := fa.evalIval(env, rhs)
+		env.killObj(obj)
+		env.iv[obj] = stripSelfBounds(v, obj)
+		env.pv[obj] = pv
+	case isSliceLike(t):
+		var lv ival
+		haveLen := false
+		if rhs != nil {
+			lv, haveLen = fa.evalLen(env, rhs)
+		} else if haveRhs {
+			lv, haveLen = constIval(0), true // zero value nil slice
+		}
+		nl := fa.evalNil(env, rhs, haveRhs)
+		env.killObj(obj)
+		if haveLen {
+			env.lens[symKey{root: obj}] = stripSelfBounds(lv, obj)
+		}
+		if isNilable(t) {
+			env.nl[obj] = nl
+		}
+	case isNilable(t):
+		nl := fa.evalNil(env, rhs, haveRhs)
+		env.killObj(obj)
+		env.nl[obj] = nl
+	default:
+		env.killObj(obj)
+	}
+}
+
+// stripSelfBounds drops bounds that reference obj itself: a bound on
+// obj's new value expressed in terms of obj's new value says nothing.
+func stripSelfBounds(v ival, obj types.Object) ival {
+	selfish := func(b sbound) bool {
+		return b.set && ((b.kind == bkVar && b.obj == obj) || (b.kind == bkLen && b.key.root == obj))
+	}
+	if selfish(v.lo) {
+		if c, ok := v.lo.constFloor(); ok {
+			v.lo = constBound(c) // len(self)+c ≥ c survives as a floor
+		} else {
+			v.lo = sbound{}
+		}
+	}
+	if selfish(v.hi) {
+		v.hi = sbound{}
+	}
+	return v
+}
+
+// recordReturn joins result intervals for the summary layer.
+func (fa *funcAbs) recordReturn(rs *ast.ReturnStmt, env *absEnv) {
+	if len(rs.Results) == 0 {
+		return
+	}
+	if fa.rets == nil {
+		fa.rets = make([]ival, len(rs.Results))
+		fa.nilRets = make([]nilState, len(rs.Results))
+		for i := range fa.rets {
+			fa.rets[i] = ival{lo: sbound{}, hi: sbound{}}
+		}
+		for i, r := range rs.Results {
+			fa.rets[i] = fa.retIval(env, r)
+			fa.nilRets[i] = fa.retNil(env, r)
+		}
+		return
+	}
+	if len(rs.Results) != len(fa.rets) {
+		return
+	}
+	for i, r := range rs.Results {
+		fa.rets[i] = joinIval(fa.rets[i], fa.retIval(env, r))
+		fa.nilRets[i] = joinNil(fa.nilRets[i], fa.retNil(env, r))
+	}
+}
+
+// retNil abstracts the nil-state of one returned expression. Nil-able
+// results carry evidence; everything else stays bottom.
+func (fa *funcAbs) retNil(env *absEnv, r ast.Expr) nilState {
+	t := fa.p.TypeOf(r)
+	if t == nil {
+		return nilState{}
+	}
+	// `return nil` has untyped-nil type, which isNilable rejects; it is
+	// the canonical nil witness, not an untracked value.
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return nilYes(r.Pos())
+	}
+	if !isNilable(t) {
+		return nilState{}
+	}
+	return fa.evalNil(env, r, true)
+}
+
+// retIval abstracts one returned expression, stripped of bound forms
+// that are meaningless outside the function (len keys, var bounds).
+func (fa *funcAbs) retIval(env *absEnv, r ast.Expr) ival {
+	if t := fa.p.TypeOf(r); t == nil || !isIntType(t) {
+		return topIval
+	}
+	v, _ := fa.evalIval(env, r)
+	if v.lo.set && v.lo.kind != bkConst {
+		if c, ok := v.lo.constFloor(); ok {
+			v.lo = constBound(c)
+		} else {
+			v.lo = sbound{}
+		}
+	}
+	if v.hi.set && v.hi.kind != bkConst {
+		v.hi = sbound{}
+	}
+	return v
+}
+
+// noteCalls records literal-site snapshots and applies call-clobber
+// effects for every call/literal in the subtree (outside nested lits).
+func (fa *funcAbs) noteCalls(n ast.Node, env *absEnv) {
+	var clobber bool
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if _, ok := fa.litEnv[m]; !ok {
+				fa.litEnv[m] = env.clone()
+			}
+			return false
+		case *ast.CallExpr:
+			if !isPureBuiltin(fa.p, m) {
+				clobber = true
+			}
+		}
+		return true
+	})
+	if clobber {
+		env.killSelectorLens()
+	}
+}
+
+// isPureBuiltin reports whether the call is a builtin that cannot
+// mutate reachable state (len, cap, min, max, abs-style conversions).
+func isPureBuiltin(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+		switch id.Name {
+		case "len", "cap", "min", "max", "append", "make", "new":
+			return true
+		}
+	}
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	return false
+}
+
+// ---- expression evaluation ----
+
+// evalIval abstracts an integer-valued expression in env.
+func (fa *funcAbs) evalIval(env *absEnv, e ast.Expr) (ival, prov) {
+	v, pv := fa.evalIvalRaw(env, e)
+	// The static type bounds the value: a load of an int32, however
+	// opaque its source, is within the int32 range. Only fill bounds
+	// the analysis left open (or loosen const ones): a symbolic bound
+	// like len(x)-1 is worth more than the type's const ceiling for
+	// the subscript proofs downstream.
+	if t := fa.p.TypeOf(e); t != nil {
+		if lo, hi, ok := narrowRange(t); ok {
+			if !v.lo.set || v.lo.kind == bkConst && v.lo.c < lo {
+				v.lo = constBound(lo)
+			}
+			if !v.hi.set || v.hi.kind == bkConst && v.hi.c > hi {
+				v.hi = constBound(hi)
+			}
+		}
+	}
+	return v, pv
+}
+
+func (fa *funcAbs) evalIvalRaw(env *absEnv, e ast.Expr) (ival, prov) {
+	p := fa.p
+	e = ast.Unparen(e)
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		if c, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			return constIval(c), provControl
+		}
+		return topIval, provControl
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(e)
+		if obj == nil || fa.volatile[obj] {
+			return topIval, provData
+		}
+		if v, ok := env.iv[obj]; ok {
+			return v, env.pv[obj]
+		}
+		// Untracked (captured from an enclosing function, package
+		// global): no interval, and globals are data.
+		return topIval, provData
+	case *ast.BinaryExpr:
+		v := fa.evalBinary(env, e.Op, e.X, e.Y)
+		return v, joinProv(fa.provOf(env, e.X), fa.provOf(env, e.Y))
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			v, pv := fa.evalIval(env, e.X)
+			return ival{lo: negBound(v.hi), hi: negBound(v.lo)}, pv
+		}
+		return topIval, provData
+	case *ast.CallExpr:
+		return fa.evalCall(env, e)
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr, *ast.TypeAssertExpr, *ast.SliceExpr:
+		return topIval, provData
+	}
+	return topIval, provData
+}
+
+// provOf is evalIval's provenance projection.
+func (fa *funcAbs) provOf(env *absEnv, e ast.Expr) prov {
+	_, pv := fa.evalIval(env, e)
+	return pv
+}
+
+func negBound(b sbound) sbound {
+	if !b.set || b.kind != bkConst {
+		return sbound{}
+	}
+	return constBound(-b.c)
+}
+
+// evalBinary abstracts x op y.
+func (fa *funcAbs) evalBinary(env *absEnv, op token.Token, x, y ast.Expr) ival {
+	vx, _ := fa.evalIval(env, x)
+	vy, _ := fa.evalIval(env, y)
+	switch op {
+	case token.ADD:
+		return addIval(vx, vy)
+	case token.SUB:
+		return addIval(vx, ival{lo: negBound(vy.hi), hi: negBound(vy.lo)})
+	case token.MUL:
+		return mulIval(vx, vy)
+	case token.QUO:
+		return divIval(vx, vy)
+	case token.REM:
+		return remIval(vx, vy)
+	case token.SHL:
+		if c, ok := constOf(vy); ok && c >= 0 && c < 62 {
+			return mulIval(vx, constIval(int64(1)<<uint(c)))
+		}
+	}
+	return topIval
+}
+
+func constOf(v ival) (int64, bool) {
+	if v.lo.set && v.lo.kind == bkConst && v.lo == v.hi {
+		return v.lo.c, true
+	}
+	return 0, false
+}
+
+// addIval adds two intervals; a symbolic bound plus a constant keeps
+// the symbol, symbol+symbol is unbounded.
+func addIval(a, b ival) ival {
+	add := func(p, q sbound) sbound {
+		if !p.set || !q.set {
+			return sbound{}
+		}
+		switch {
+		case q.kind == bkConst:
+			return p.addConst(q.c)
+		case p.kind == bkConst:
+			return q.addConst(p.c)
+		}
+		return sbound{}
+	}
+	return ival{lo: add(a.lo, b.lo), hi: add(a.hi, b.hi)}
+}
+
+func mulIval(a, b ival) ival {
+	ca, aok := constOf(a)
+	cb, bok := constOf(b)
+	switch {
+	case aok && bok:
+		m := ca * cb
+		if ca != 0 && m/ca != cb || m > satOverflow || m < -satOverflow {
+			return topIval
+		}
+		return constIval(m)
+	case aok:
+		return scaleIval(b, ca)
+	case bok:
+		return scaleIval(a, cb)
+	}
+	// Non-constant product: sign information only.
+	out := topIval
+	if geZero(a) && geZero(b) {
+		out.lo = constBound(0)
+	}
+	return out
+}
+
+func geZero(v ival) bool {
+	c, ok := v.lo.constFloor()
+	return v.lo.set && ok && c >= 0
+}
+
+// scaleIval multiplies by a constant; only constant bounds scale (a
+// scaled len would need len*c bounds the domain does not carry), except
+// c == 1 which is the identity.
+func scaleIval(v ival, c int64) ival {
+	if c == 1 {
+		return v
+	}
+	if c == 0 {
+		return constIval(0)
+	}
+	sc := func(b sbound) sbound {
+		if !b.set || b.kind != bkConst {
+			return sbound{}
+		}
+		m := b.c * c
+		if b.c != 0 && m/b.c != c || m > satOverflow || m < -satOverflow {
+			return sbound{}
+		}
+		return constBound(m)
+	}
+	lo, hi := sc(v.lo), sc(v.hi)
+	if c < 0 {
+		lo, hi = hi, lo
+	}
+	out := ival{lo: lo, hi: hi}
+	if c > 0 && !out.lo.set && geZero(v) {
+		out.lo = constBound(0)
+	}
+	return out
+}
+
+func divIval(a, b ival) ival {
+	cb, ok := constOf(b)
+	if !ok || cb <= 0 {
+		return topIval
+	}
+	dv := func(bd sbound) sbound {
+		if !bd.set || bd.kind != bkConst {
+			return sbound{}
+		}
+		return constBound(bd.c / cb)
+	}
+	out := ival{lo: dv(a.lo), hi: dv(a.hi)}
+	if !out.lo.set && geZero(a) {
+		out.lo = constBound(0)
+	}
+	return out
+}
+
+func remIval(a, b ival) ival {
+	if !geZero(a) {
+		return topIval
+	}
+	if cb, ok := constOf(b); ok && cb > 0 {
+		return ival{lo: constBound(0), hi: constBound(cb - 1)}
+	}
+	// x % y with y's interval bounded: [0, hi(y)-1] when y >= 1.
+	if c, ok := b.lo.constFloor(); ok && b.lo.set && c >= 1 && b.hi.set {
+		return ival{lo: constBound(0), hi: b.hi.addConst(-1)}
+	}
+	return ival{lo: constBound(0)}
+}
+
+// evalCall abstracts a call expression: len/cap/min/max builtins, and
+// module callees through the interprocedural return summaries.
+func (fa *funcAbs) evalCall(env *absEnv, call *ast.CallExpr) (ival, prov) {
+	p := fa.p
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) >= 1 {
+			switch id.Name {
+			case "len":
+				if v, ok := fa.evalLen(env, call.Args[0]); ok {
+					return v, provControl
+				}
+				return ival{lo: constBound(0)}, provControl
+			case "cap":
+				// cap >= len; only the floor survives.
+				return ival{lo: constBound(0)}, provControl
+			case "min":
+				v, pv := fa.evalIval(env, call.Args[0])
+				for _, a := range call.Args[1:] {
+					av, apv := fa.evalIval(env, a)
+					v = ival{lo: joinLo(v.lo, av.lo), hi: minHi(v.hi, av.hi)}
+					pv = joinProv(pv, apv)
+				}
+				return v, pv
+			case "max":
+				v, pv := fa.evalIval(env, call.Args[0])
+				for _, a := range call.Args[1:] {
+					av, apv := fa.evalIval(env, a)
+					v = ival{lo: maxLo(v.lo, av.lo), hi: joinHi(v.hi, av.hi)}
+					pv = joinProv(pv, apv)
+				}
+				return v, pv
+			}
+		}
+	}
+	// Conversion T(x) between integer types: pass the interval through.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isIntType(tv.Type) {
+			return fa.evalIval(env, call.Args[0])
+		}
+		return topIval, provData
+	}
+	// Module callee with a return summary.
+	if fa.mod != nil {
+		if callee := fa.mod.resolve(fa.p.pkg, call); callee != nil {
+			if sum := fa.mod.intervalSummaries()[callee]; sum != nil && len(sum.results) == 1 {
+				return sum.results[0], provControl
+			}
+		}
+	}
+	return topIval, provData
+}
+
+// minHi: the upper bound of min(xs) is the smallest comparable hi; any
+// single set hi is already an upper bound for the minimum.
+func minHi(a, b sbound) sbound {
+	if !a.set {
+		return b
+	}
+	if !b.set {
+		return a
+	}
+	if a.sameBase(b) {
+		if b.c < a.c {
+			return b
+		}
+		return a
+	}
+	if a.kind == bkLen {
+		return a // prefer the provable form
+	}
+	return b
+}
+
+// maxLo mirrors minHi for max().
+func maxLo(a, b sbound) sbound {
+	if !a.set {
+		return b
+	}
+	if !b.set {
+		return a
+	}
+	if a.sameBase(b) {
+		if b.c > a.c {
+			return b
+		}
+		return a
+	}
+	if a.kind == bkConst {
+		return a
+	}
+	return b
+}
+
+// evalLen abstracts the length of a slice/array/string-valued
+// expression: exact for array types, make sizes, composite literals,
+// slice expressions and appends; symbolic len(K) for canonical paths.
+func (fa *funcAbs) evalLen(env *absEnv, e ast.Expr) (ival, bool) {
+	p := fa.p
+	e = ast.Unparen(e)
+	t := p.TypeOf(e)
+	if t != nil {
+		if n, ok := arrayLen(t); ok {
+			return constIval(n), true
+		}
+	}
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constIval(int64(len(constant.StringVal(tv.Value)))), true
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		if t != nil {
+			if _, ok := t.Underlying().(*types.Slice); ok {
+				return constIval(compositeLen(e)), true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make":
+					if len(e.Args) >= 2 {
+						v, _ := fa.evalIval(env, e.Args[1])
+						if !v.lo.set {
+							v.lo = constBound(0)
+						}
+						return v, true
+					}
+				case "append":
+					if len(e.Args) >= 1 {
+						base, ok := fa.evalLen(env, e.Args[0])
+						if !ok {
+							base = ival{lo: constBound(0)}
+						}
+						if e.Ellipsis != token.NoPos {
+							return ival{lo: base.lo}, true
+						}
+						return ival{lo: base.lo.addConst(int64(len(e.Args) - 1)), hi: base.hi.addConst(int64(len(e.Args) - 1))}, true
+					}
+				}
+			}
+		}
+	case *ast.SliceExpr:
+		// len(s[lo:hi]) == hi - lo (hi defaults to len(s), lo to 0).
+		var loV, hiV ival
+		if e.Low != nil {
+			loV, _ = fa.evalIval(env, e.Low)
+		} else {
+			loV = constIval(0)
+		}
+		if e.High != nil {
+			hiV, _ = fa.evalIval(env, e.High)
+		} else if key, ok := fa.canonicalKey(e.X); ok {
+			hiV = ival{lo: lenBound(key), hi: lenBound(key)}
+		} else if inner, ok := fa.evalLen(env, e.X); ok {
+			hiV = inner
+		} else {
+			hiV = topIval
+		}
+		v := addIval(hiV, ival{lo: negBound(loV.hi), hi: negBound(loV.lo)})
+		if !v.lo.set {
+			v.lo = constBound(0) // a slice expr that executed has non-negative length
+		}
+		return v, true
+	case *ast.Ident:
+		if tv, ok := p.Info.Types[e]; ok && tv.IsNil() {
+			return constIval(0), true
+		}
+	}
+	if key, ok := fa.canonicalKey(e); ok {
+		if fact, ok := env.lens[key]; ok {
+			// The value of len(X) is exactly the symbol len(X); the
+			// stored fact only tightens it. A positive const floor is
+			// strictly stronger than the symbol (it survives
+			// subtraction), but the generic floor 0 is weaker: it
+			// turns len(X)-1 into a const -1 lower bound, which reads
+			// as positive evidence of negativity when the exact value
+			// is merely unguarded.
+			out := fact
+			if !out.lo.set || out.lo.kind != bkConst || out.lo.c <= 0 {
+				out.lo = lenBound(key)
+			}
+			if !out.hi.set {
+				out.hi = lenBound(key)
+			}
+			return out, true
+		}
+		v := ival{lo: lenBound(key), hi: lenBound(key)}
+		return v, true
+	}
+	return topIval, false
+}
+
+func compositeLen(cl *ast.CompositeLit) int64 {
+	n := int64(0)
+	maxIdx := int64(-1)
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if bl, ok := kv.Key.(*ast.BasicLit); ok && bl.Kind == token.INT {
+				if idx, err := strconv.ParseInt(bl.Value, 0, 64); err == nil && idx > maxIdx {
+					maxIdx = idx
+				}
+				continue
+			}
+		}
+		n++
+		if n-1 > maxIdx {
+			maxIdx = n - 1
+		}
+	}
+	return maxIdx + 1
+}
+
+// canonicalKey canonicalizes a slice-valued expression into a symbolic
+// length key: a local/param ident, or a selector chain rooted at one.
+func (fa *funcAbs) canonicalKey(e ast.Expr) (symKey, bool) {
+	e = ast.Unparen(e)
+	var path []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := fa.p.Info.ObjectOf(x)
+			if obj == nil || fa.volatile[obj] {
+				return symKey{}, false
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return symKey{}, false
+			}
+			if obj.Parent() == obj.Pkg().Scope() {
+				return symKey{}, false // package global: mutable from anywhere
+			}
+			sb := strings.Builder{}
+			for i := len(path) - 1; i >= 0; i-- {
+				sb.WriteByte('.')
+				sb.WriteString(path[i])
+			}
+			return symKey{root: obj, path: sb.String()}, true
+		case *ast.SelectorExpr:
+			path = append(path, x.Sel.Name)
+			e = ast.Unparen(x.X)
+		default:
+			return symKey{}, false
+		}
+	}
+}
+
+// evalNil abstracts the nil-ness of an expression.
+func (fa *funcAbs) evalNil(env *absEnv, rhs ast.Expr, haveRhs bool) nilState {
+	p := fa.p
+	if !haveRhs {
+		return nilState{} // multi-value positions: no evidence either way
+	}
+	if rhs == nil {
+		return nilYes(token.NoPos) // var x *T zero value
+	}
+	rhs = ast.Unparen(rhs)
+	if tv, ok := p.Info.Types[rhs]; ok && tv.IsNil() {
+		return nilYes(rhs.Pos())
+	}
+	switch rhs := rhs.(type) {
+	case *ast.UnaryExpr:
+		if rhs.Op == token.AND {
+			return nilNo()
+		}
+	case *ast.CompositeLit:
+		return nilNo()
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make", "new", "append", "min", "max":
+					return nilNo()
+				}
+			}
+		}
+		// Module callee with a nil-state return summary.
+		if fa.mod != nil {
+			if callee := fa.mod.resolve(p.pkg, rhs); callee != nil {
+				if sum := fa.mod.intervalSummaries()[callee]; sum != nil && len(sum.nilResults) == 1 {
+					return sum.nilResults[0]
+				}
+			}
+		}
+		return nilState{} // unknown result: no evidence
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(rhs)
+		if obj != nil && !fa.volatile[obj] {
+			if st, ok := env.nl[obj]; ok {
+				return st
+			}
+		}
+		return nilState{}
+	}
+	return nilState{}
+}
+
+// ---- branch refinement ----
+
+// refineEdge returns the state on the edge from blk to its si-th
+// successor, applying the branch condition when blk is a condition
+// block. out must not be mutated; a clone is refined.
+func (fa *funcAbs) refineEdge(blk *cfgBlock, si int, out *absEnv) *absEnv {
+	var cond ast.Expr
+	switch blk.kind {
+	case "if.cond", "for.head":
+		// The condition, when present, is the last expression node.
+		for i := len(blk.nodes) - 1; i >= 0; i-- {
+			if e, ok := blk.nodes[i].(ast.Expr); ok {
+				cond = e
+				break
+			}
+		}
+	}
+	if cond == nil || len(blk.succs) < 2 {
+		return out
+	}
+	env := out.clone()
+	fa.refineCond(env, cond, si == 0)
+	return env
+}
+
+// refineCond narrows env under `cond == truth`.
+func (fa *funcAbs) refineCond(env *absEnv, cond ast.Expr, truth bool) {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			fa.refineCond(env, c.X, !truth)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if truth {
+				fa.refineCond(env, c.X, true)
+				fa.refineCond(env, c.Y, true)
+			}
+		case token.LOR:
+			if !truth {
+				fa.refineCond(env, c.X, false)
+				fa.refineCond(env, c.Y, false)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			fa.refineCompare(env, c, truth)
+		}
+	}
+}
+
+// refineCompare narrows env under a comparison known to be truth.
+func (fa *funcAbs) refineCompare(env *absEnv, c *ast.BinaryExpr, truth bool) {
+	op := c.Op
+	if !truth {
+		op = negateOp(op)
+	}
+	// Nil comparisons refine the nil lattice.
+	if isNilExpr(fa.p, c.X) || isNilExpr(fa.p, c.Y) {
+		v := c.X
+		if isNilExpr(fa.p, v) {
+			v = c.Y
+		}
+		if obj := identObj(fa.p, v); obj != nil && !fa.volatile[obj] {
+			switch op {
+			case token.EQL:
+				st := env.nl[obj]
+				st.mayNonNil = false
+				if !st.mayNil {
+					st.mayNil, st.witness = true, c.Pos()
+				}
+				env.nl[obj] = st
+			case token.NEQ:
+				env.nl[obj] = nilNo()
+			}
+		}
+		return
+	}
+	fa.refineIntCompare(env, c.X, op, c.Y)
+	fa.refineIntCompare(env, c.Y, flipOp(op), c.X)
+	// len(s) on either side refines the length fact itself.
+	fa.refineLenFact(env, c.X, op, c.Y)
+	fa.refineLenFact(env, c.Y, flipOp(op), c.X)
+}
+
+// refineIntCompare narrows x's interval under `x op e`.
+func (fa *funcAbs) refineIntCompare(env *absEnv, x ast.Expr, op token.Token, e ast.Expr) {
+	obj := identObj(fa.p, x)
+	if obj == nil || fa.volatile[obj] || !isIntType(obj.Type()) {
+		return
+	}
+	ve, _ := fa.evalIval(env, e)
+	// A top comparison bound still records guardedness as a var bound.
+	hiB, loB := ve.hi, ve.lo
+	if !hiB.set {
+		if eo := identObj(fa.p, e); eo != nil && isIntType(eo.Type()) && !fa.volatile[eo] {
+			hiB = varBound(eo)
+		}
+	}
+	if !loB.set {
+		if eo := identObj(fa.p, e); eo != nil && isIntType(eo.Type()) && !fa.volatile[eo] {
+			loB = varBound(eo)
+		}
+	}
+	cur, ok := env.iv[obj]
+	if !ok {
+		cur = topIval
+	}
+	// When x's abstract value is exactly len(K)+c (e.g. n := len(pts)),
+	// the comparison is a comparison on len(K) itself: forward it to the
+	// fact table, where a const ceiling can coexist with the symbolic
+	// bounds meetHi would otherwise prefer to keep.
+	if cur.lo.set && cur.lo == cur.hi && cur.lo.kind == bkLen {
+		key, c := cur.lo.key, cur.lo.c
+		fact, ok := env.lens[key]
+		if !ok {
+			fact = ival{lo: constBound(0)}
+		}
+		switch op {
+		case token.LSS:
+			fact.hi = meetHi(fact.hi, hiB.addConst(-1-c))
+		case token.LEQ:
+			fact.hi = meetHi(fact.hi, hiB.addConst(-c))
+		case token.GTR:
+			fact.lo = meetLo(fact.lo, loB.addConst(1-c))
+		case token.GEQ:
+			fact.lo = meetLo(fact.lo, loB.addConst(-c))
+		case token.EQL:
+			fact.lo = meetLo(fact.lo, loB.addConst(-c))
+			fact.hi = meetHi(fact.hi, hiB.addConst(-c))
+		}
+		env.lens[key] = fact
+	}
+	switch op {
+	case token.LSS: // x < e  =>  x <= hi(e)-1
+		cur.hi = meetHi(cur.hi, hiB.addConst(-1))
+	case token.LEQ:
+		cur.hi = meetHi(cur.hi, hiB)
+	case token.GTR: // x > e  =>  x >= lo(e)+1
+		cur.lo = meetLo(cur.lo, loB.addConst(1))
+	case token.GEQ:
+		cur.lo = meetLo(cur.lo, loB)
+	case token.EQL:
+		cur.lo = meetLo(cur.lo, loB)
+		cur.hi = meetHi(cur.hi, hiB)
+	case token.NEQ:
+		// x != e: when e's value equals x's tight floor, bump it.
+		if ce, ok := constOf(ve); ok {
+			if cur.lo.set && cur.lo.kind == bkConst && cur.lo.c == ce {
+				cur.lo = cur.lo.addConst(1)
+			}
+			if cur.hi.set && cur.hi.kind == bkConst && cur.hi.c == ce {
+				cur.hi = cur.hi.addConst(-1)
+			}
+		}
+	}
+	env.iv[obj] = cur
+}
+
+// refineLenFact narrows len(K) facts under `len(K) op e`.
+func (fa *funcAbs) refineLenFact(env *absEnv, x ast.Expr, op token.Token, e ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return
+	}
+	if _, isBuiltin := fa.p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	key, ok := fa.canonicalKey(call.Args[0])
+	if !ok {
+		return
+	}
+	ve, _ := fa.evalIval(env, e)
+	cur, ok := env.lens[key]
+	if !ok {
+		cur = ival{lo: constBound(0)}
+	}
+	switch op {
+	case token.LSS:
+		cur.hi = meetHi(cur.hi, ve.hi.addConst(-1))
+	case token.LEQ:
+		cur.hi = meetHi(cur.hi, ve.hi)
+	case token.GTR:
+		cur.lo = meetLo(cur.lo, ve.lo.addConst(1))
+	case token.GEQ:
+		cur.lo = meetLo(cur.lo, ve.lo)
+	case token.EQL:
+		cur.lo, cur.hi = meetLo(cur.lo, ve.lo), meetHi(cur.hi, ve.hi)
+	case token.NEQ:
+		if ce, ok := constOf(ve); ok && cur.lo.set && cur.lo.kind == bkConst && cur.lo.c == ce {
+			cur.lo = cur.lo.addConst(1)
+		}
+	}
+	env.lens[key] = cur
+}
+
+func negateOp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func flipOp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// ---- proof obligations ----
+
+// leqBound reports whether a <= b is provable in env, chasing length
+// facts one level.
+func leqBound(env *absEnv, a, b sbound, depth int) bool {
+	if !a.set || !b.set {
+		return false
+	}
+	if a.sameBase(b) {
+		return a.c <= b.c
+	}
+	if depth <= 0 {
+		return false
+	}
+	switch {
+	case a.kind == bkConst && b.kind == bkLen:
+		// c <= len(K)+d  <=>  len(K) >= c-d; len >= 0 always.
+		need := a.c - b.c
+		if need <= 0 {
+			return true
+		}
+		if fact, ok := env.lens[b.key]; ok && fact.lo.set {
+			return leqBound(env, constBound(need), fact.lo, depth-1)
+		}
+	case a.kind == bkLen && b.kind == bkConst:
+		if fact, ok := env.lens[a.key]; ok && fact.hi.set {
+			return leqBound(env, fact.hi.addConst(a.c), b, depth-1)
+		}
+	case a.kind == bkLen && b.kind == bkLen:
+		// Chase b's floor or a's ceiling through the fact table.
+		if fact, ok := env.lens[b.key]; ok && fact.lo.set {
+			if leqBound(env, a, fact.lo.addConst(b.c), depth-1) {
+				return true
+			}
+		}
+		if fact, ok := env.lens[a.key]; ok && fact.hi.set {
+			if leqBound(env, fact.hi.addConst(a.c), b, depth-1) {
+				return true
+			}
+		}
+	case a.kind == bkVar:
+		if v, ok := env.iv[a.obj]; ok && v.hi.set {
+			return leqBound(env, v.hi.addConst(a.c), b, depth-1)
+		}
+	case b.kind == bkVar:
+		if v, ok := env.iv[b.obj]; ok && v.lo.set {
+			return leqBound(env, a, v.lo.addConst(b.c), depth-1)
+		}
+	}
+	return false
+}
+
+// geZeroBound reports whether bound >= 0 is provable.
+func geZeroBound(env *absEnv, b sbound) bool {
+	return leqBound(env, constBound(0), b, 2)
+}
+
+// ---- type helpers ----
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isSliceLike(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+func isNilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// arrayLen returns the length of an array (or pointer-to-array) type.
+func arrayLen(t types.Type) (int64, bool) {
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	if a, ok := u.(*types.Array); ok {
+		return a.Len(), true
+	}
+	return 0, false
+}
+
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func identObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.SHL_ASSIGN:
+		return token.SHL
+	}
+	return token.ILLEGAL
+}

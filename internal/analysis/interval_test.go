@@ -1,0 +1,188 @@
+package analysis
+
+// Unit tests for the interval-domain primitives of interval.go: the
+// lattice operations the value-flow analyzers lean on. The fixture
+// tests prove the analyzers end to end; these pin the algebra each
+// proof step assumes — in particular the asymmetries (constant floors
+// on join, refinement-wins on meet, len-ceilings surviving meets) that
+// took false positives to discover.
+
+import (
+	"go/token"
+	"go/types"
+	"math"
+	"testing"
+)
+
+func testVar(name string) types.Object {
+	return types.NewVar(token.NoPos, nil, name, types.Typ[types.Int])
+}
+
+func TestJoinLo(t *testing.T) {
+	k := symKey{root: testVar("s")}
+	cases := []struct {
+		name string
+		a, b sbound
+		want sbound
+	}{
+		{"const min", constBound(3), constBound(7), constBound(3)},
+		{"same len base", lenBound(k).addConst(2), lenBound(k), lenBound(k)},
+		{"unset wins", sbound{}, constBound(1), sbound{}},
+		// len(K)+2 is at least 2: joining with the constant 5 keeps the
+		// smaller constant floor rather than dropping to -inf.
+		{"const floor", lenBound(k).addConst(2), constBound(5), constBound(2)},
+		// Var bounds have no constant floor; mixed bases lose the bound.
+		{"var loses", varBound(testVar("x")), constBound(0), sbound{}},
+	}
+	for _, c := range cases {
+		if got := joinLo(c.a, c.b); got != c.want {
+			t.Errorf("%s: joinLo(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := joinLo(c.b, c.a); got != c.want {
+			t.Errorf("%s (flipped): joinLo(%v, %v) = %v, want %v", c.name, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestJoinHi(t *testing.T) {
+	k := symKey{root: testVar("s")}
+	cases := []struct {
+		name string
+		a, b sbound
+		want sbound
+	}{
+		{"const max", constBound(3), constBound(7), constBound(7)},
+		{"same len base", lenBound(k).addConst(-1), lenBound(k), lenBound(k)},
+		// No ceiling trick exists upward: len is unbounded above.
+		{"mixed loses", lenBound(k), constBound(100), sbound{}},
+	}
+	for _, c := range cases {
+		if got := joinHi(c.a, c.b); got != c.want {
+			t.Errorf("%s: joinHi(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := joinHi(c.b, c.a); got != c.want {
+			t.Errorf("%s (flipped): joinHi(%v, %v) = %v, want %v", c.name, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMeetRefinementWins(t *testing.T) {
+	k := symKey{root: testVar("s")}
+	// On a base mismatch the new refinement replaces a stale lower
+	// bound: guards beat arithmetic for this layer's proof obligations.
+	if got := meetLo(varBound(testVar("x")), constBound(0)); got != constBound(0) {
+		t.Errorf("meetLo(var, 0) = %v, want the refinement 0", got)
+	}
+	// Same base keeps the tighter side.
+	if got := meetLo(constBound(2), constBound(1)); got != constBound(2) {
+		t.Errorf("meetLo(2, 1) = %v, want 2", got)
+	}
+	// A len-relative ceiling survives a meet with a var ceiling — it is
+	// the bound indexbound can discharge against the slice itself.
+	if got := meetHi(lenBound(k).addConst(-1), varBound(testVar("m"))); got != lenBound(k).addConst(-1) {
+		t.Errorf("meetHi(len-1, var) = %v, want len-1 kept", got)
+	}
+	// But a const ceiling does replace a var ceiling.
+	if got := meetHi(varBound(testVar("m")), constBound(10)); got != constBound(10) {
+		t.Errorf("meetHi(var, 10) = %v, want 10", got)
+	}
+}
+
+func TestWidenIval(t *testing.T) {
+	k := symKey{root: testVar("s")}
+	prev := ival{lo: constBound(0), hi: lenBound(k).addConst(-1)}
+	// A stable floor with a moved ceiling: only the ceiling widens.
+	next := ival{lo: constBound(0), hi: lenBound(k)}
+	got := widenIval(prev, next)
+	if got.lo != constBound(0) {
+		t.Errorf("widen dropped the stable floor: %v", got)
+	}
+	if got.hi.set {
+		t.Errorf("widen kept the moved ceiling: %v", got)
+	}
+	// Fully stable intervals survive untouched.
+	if got := widenIval(prev, prev); got != prev {
+		t.Errorf("widen(x, x) = %v, want %v", got, prev)
+	}
+}
+
+func TestAddConstSaturates(t *testing.T) {
+	if got := constBound(satOverflow - 1).addConst(2); got.set {
+		t.Errorf("overflowing addConst kept the bound: %v", got)
+	}
+	if got := (sbound{}).addConst(1); got.set {
+		t.Errorf("addConst on unset produced a bound: %v", got)
+	}
+	if got := constBound(5).addConst(-3); got != constBound(2) {
+		t.Errorf("addConst(5, -3) = %v, want 2", got)
+	}
+}
+
+func TestLeqBoundChasing(t *testing.T) {
+	env := newEnv()
+	s := symKey{root: testVar("s")}
+	x := testVar("x")
+
+	// Direct: same base compares constants.
+	if !leqBound(env, constBound(3), constBound(3), 2) {
+		t.Error("3 <= 3 failed")
+	}
+	// c <= len(K)+d holds unconditionally when c-d <= 0 (len >= 0).
+	if !leqBound(env, constBound(0), lenBound(s), 2) {
+		t.Error("0 <= len(s) failed without any facts")
+	}
+	if leqBound(env, constBound(1), lenBound(s), 2) {
+		t.Error("1 <= len(s) proved with no length facts")
+	}
+	// With the fact len(s) >= 4 the comparison discharges.
+	env.lens[s] = ival{lo: constBound(4)}
+	if !leqBound(env, constBound(3), lenBound(s), 2) {
+		t.Error("3 <= len(s) failed under fact len(s) >= 4")
+	}
+	// len(s)+c <= const chases the fact ceiling.
+	env.lens[s] = ival{lo: constBound(0), hi: constBound(10)}
+	if !leqBound(env, lenBound(s).addConst(2), constBound(12), 2) {
+		t.Error("len(s)+2 <= 12 failed under fact len(s) <= 10")
+	}
+	if leqBound(env, lenBound(s).addConst(3), constBound(12), 2) {
+		t.Error("len(s)+3 <= 12 proved under fact len(s) <= 10")
+	}
+	// Var bounds chase the variable's interval.
+	env.iv[x] = ival{lo: constBound(1), hi: lenBound(s).addConst(-1)}
+	if !leqBound(env, varBound(x), lenBound(s).addConst(-1), 2) {
+		t.Error("x <= len(s)-1 failed with x's ceiling len(s)-1")
+	}
+	// Depth exhaustion stays sound: no proof, not a wrong one.
+	if leqBound(env, varBound(x), lenBound(s).addConst(-1), 0) {
+		t.Error("depth-0 chase still proved a cross-base comparison")
+	}
+}
+
+func TestJoinNilLattice(t *testing.T) {
+	w := token.Pos(7)
+	both := joinNil(nilYes(w), nilNo())
+	if !both.mayNil || !both.mayNonNil {
+		t.Errorf("join(yes, no) = %+v, want both flags", both)
+	}
+	if both.witness != w {
+		t.Errorf("join lost the nil witness: %+v", both)
+	}
+	if got := joinNil(nilBottom(), nilNo()); got.mayNil || !got.mayNonNil {
+		t.Errorf("join(bottom, no) = %+v, want mayNonNil only", got)
+	}
+}
+
+func TestNarrowRange(t *testing.T) {
+	if lo, hi, ok := narrowRange(types.Typ[types.Int32]); !ok || lo != math.MinInt32 || hi != math.MaxInt32 {
+		t.Errorf("narrowRange(int32) = %d, %d, %v", lo, hi, ok)
+	}
+	if lo, hi, ok := narrowRange(types.Typ[types.Uint16]); !ok || lo != 0 || hi != math.MaxUint16 {
+		t.Errorf("narrowRange(uint16) = %d, %d, %v", lo, hi, ok)
+	}
+	if _, _, ok := narrowRange(types.Typ[types.Int64]); ok {
+		t.Error("narrowRange(int64) claimed a narrow range")
+	}
+	if _, _, ok := narrowRange(types.Typ[types.Float64]); ok {
+		t.Error("narrowRange(float64) claimed a narrow range")
+	}
+}

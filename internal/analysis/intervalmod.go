@@ -1,0 +1,444 @@
+package analysis
+
+// intervalmod.go is the interprocedural half of the value-flow layer:
+// per-function parameter and result interval summaries propagated
+// through the Module call graph by bounded fixed point, in the style of
+// summary.go's other caches.
+//
+// Direction: parameter summaries start at bottom ("no caller seen") and
+// join in the abstraction of every resolved call site's arguments;
+// functions callable from outside the analyzed module — exported names,
+// methods (interface dispatch), and address-taken functions — start at
+// top instead, since their callers are invisible. Result summaries are
+// re-derived each round by running the intraprocedural interpreter with
+// the current parameter seeds. The round count is capped and parameter
+// joins widen after two rounds, so the iteration terminates even though
+// result re-derivation is not formally monotone; the final round's
+// per-function states are cached for the analyzers to query.
+//
+// Bounds are laundered at the call boundary: a caller-side symbolic
+// bound (len of a caller local, a caller variable) means nothing in the
+// callee, so only constant parts cross — which is exactly enough for
+// the fixture-scale chains (`n := 8; fill(make([]int, n))`) and for
+// worker-count floors (`g` in `go func(g int)` is seeded `[0, nw-1]`
+// constant-floored to `[0, _]`).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ivalSummary is one function's interprocedural interval summary.
+type ivalSummary struct {
+	params     []ival     // per declared parameter, joined over call sites
+	lenParams  []ival     // parallel: len() facts for slice-like parameters
+	seeded     []bool     // whether any call site contributed yet
+	results    []ival     // per result position; nil until derived
+	nilResults []nilState // per result position; bottom until derived
+	rounds     int        // completed derivation rounds, for widening
+}
+
+// ivalMaxRounds caps the summary fixed point; parameter joins widen
+// after ivalWidenRound completed rounds.
+const (
+	ivalMaxRounds  = 4
+	ivalWidenRound = 2
+)
+
+// intervalSummaries returns the module's interval summary table,
+// computing it on first use. Re-entrant calls during the fixed point
+// (the intraprocedural interpreter consults callee results) observe the
+// in-progress table, which is sound: missing results abstract to top.
+func (m *Module) intervalSummaries() map[*modFunc]*ivalSummary {
+	if m.ivals != nil {
+		return m.ivals
+	}
+	m.ivals = make(map[*modFunc]*ivalSummary, len(m.order))
+	m.ivalAbs = make(map[*modFunc]*funcAbs, len(m.order))
+	addrTaken := m.addressTakenFuncs()
+
+	for _, fn := range m.order {
+		sum := &ivalSummary{}
+		np := len(declParams(fn))
+		sum.params = make([]ival, np)
+		sum.lenParams = make([]ival, np)
+		sum.seeded = make([]bool, np)
+		if exportedFromPkg(fn) || fn.decl.Recv != nil || addrTaken[fn] {
+			for i := range sum.params {
+				sum.params[i] = topIval
+				sum.lenParams[i] = ival{lo: constBound(0)}
+				sum.seeded[i] = true
+			}
+		}
+		m.ivals[fn] = sum
+	}
+
+	for round := 0; round < ivalMaxRounds; round++ {
+		changed := false
+		for _, fn := range m.order {
+			if m.deriveFunc(fn, round) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m.ivals
+}
+
+// funcAbsFor returns the cached final-round value-flow result for a
+// declared module function, deriving the whole table on first use.
+func (m *Module) funcAbsFor(fn *modFunc) *funcAbs {
+	m.intervalSummaries()
+	if fa := m.ivalAbs[fn]; fa != nil {
+		return fa
+	}
+	fa := m.runFunc(fn)
+	m.ivalAbs[fn] = fa
+	return fa
+}
+
+// runFunc runs the intraprocedural interpreter on fn with its current
+// summary seeds.
+func (m *Module) runFunc(fn *modFunc) *funcAbs {
+	p := fn.pass()
+	params := declParams(fn)
+	sum := m.ivals[fn]
+	var seed, lenSeed map[types.Object]ival
+	if sum != nil {
+		seed = map[types.Object]ival{}
+		lenSeed = map[types.Object]ival{}
+		for i, obj := range params {
+			if i >= len(sum.params) {
+				break
+			}
+			if sum.seeded[i] {
+				if isIntType(obj.Type()) {
+					seed[obj] = sum.params[i]
+				}
+				if isSliceLike(obj.Type()) {
+					lenSeed[obj] = sum.lenParams[i]
+				}
+			}
+		}
+		// Receivers are always top; they need no explicit entry (absent
+		// seed means top for tracked params in entryEnv).
+	}
+	all := paramObjects(p, fn.decl)
+	return analyzeFunc(p, fn.decl.Body, all, m, seed, lenSeed)
+}
+
+// deriveFunc recomputes fn's results and pushes its call-site argument
+// abstractions into callee parameter summaries. Reports change.
+func (m *Module) deriveFunc(fn *modFunc, round int) bool {
+	fa := m.runFunc(fn)
+	m.ivalAbs[fn] = fa
+	changed := false
+
+	sum := m.ivals[fn]
+	if rets := fa.rets; rets != nil {
+		if sum.results == nil {
+			sum.results = make([]ival, len(rets))
+			sum.nilResults = make([]nilState, len(rets))
+			for i := range rets {
+				sum.results[i] = rets[i]
+				sum.nilResults[i] = fa.nilRets[i]
+			}
+			changed = true
+		} else if len(sum.results) == len(rets) {
+			for i, r := range rets {
+				nr := joinIval(sum.results[i], r)
+				if round >= ivalWidenRound {
+					nr = widenIval(sum.results[i], nr)
+					nr = joinIval(sum.results[i], nr)
+				}
+				if nr != sum.results[i] {
+					sum.results[i] = nr
+					changed = true
+				}
+				// The nil lattice is finite: a plain join terminates.
+				nn := joinNil(sum.nilResults[i], fa.nilRets[i])
+				if nn != sum.nilResults[i] {
+					sum.nilResults[i] = nn
+					changed = true
+				}
+			}
+		}
+	}
+	sum.rounds++
+
+	forEachCall(fn, func(call *ast.CallExpr) {
+		callee := m.resolve(fn.pkg, call)
+		if callee == nil {
+			return
+		}
+		if m.seedCallee(fa, call, callee, round) {
+			changed = true
+		}
+	})
+	return changed
+}
+
+// seedCallee joins the call's argument abstractions into the callee's
+// parameter summary. Variadic tails and mismatched arities degrade to
+// top for the affected positions.
+func (m *Module) seedCallee(fa *funcAbs, call *ast.CallExpr, callee *modFunc, round int) bool {
+	sum := m.ivals[callee]
+	if sum == nil || len(sum.params) == 0 {
+		return false
+	}
+	env := fa.envAt(call.Pos())
+	changed := false
+	variadic := callee.decl.Type.Params != nil && isVariadicDecl(callee)
+	for i := range sum.params {
+		var av, lv ival
+		switch {
+		case i < len(call.Args) && !(variadic && i == len(sum.params)-1):
+			arg := call.Args[i]
+			av = launderIval(func() ival { v, _ := fa.evalIval(env, arg); return v }())
+			if t := fa.p.TypeOf(arg); t != nil && isSliceLike(t) {
+				if l, ok := fa.evalLen(env, arg); ok {
+					lv = launderIval(l)
+				} else {
+					lv = ival{lo: constBound(0)}
+				}
+			} else {
+				lv = ival{lo: constBound(0)}
+			}
+		default:
+			// Variadic tail, g(args...) forwarding, arity oddities.
+			av = topIval
+			lv = ival{lo: constBound(0)}
+		}
+		if !sum.seeded[i] {
+			sum.params[i] = av
+			sum.lenParams[i] = lv
+			sum.seeded[i] = true
+			changed = true
+			continue
+		}
+		np := joinIval(sum.params[i], av)
+		nl := joinIval(sum.lenParams[i], lv)
+		if round >= ivalWidenRound {
+			np = joinIval(sum.params[i], widenIval(sum.params[i], np))
+			nl = joinIval(sum.lenParams[i], widenIval(sum.lenParams[i], nl))
+		}
+		if np != sum.params[i] || nl != sum.lenParams[i] {
+			sum.params[i], sum.lenParams[i] = np, nl
+			changed = true
+		}
+	}
+	return changed
+}
+
+// launderIval strips caller-scoped symbolic bounds from an interval so
+// it can cross a call boundary: constant bounds survive, a symbolic lo
+// degrades to its constant floor, a symbolic hi is dropped.
+func launderIval(v ival) ival {
+	if v.lo.set && v.lo.kind != bkConst {
+		if c, ok := v.lo.constFloor(); ok {
+			v.lo = constBound(c)
+		} else {
+			v.lo = sbound{}
+		}
+	}
+	if v.hi.set && v.hi.kind != bkConst {
+		v.hi = sbound{}
+	}
+	return v
+}
+
+// declParams returns fn's declared parameter objects in positional
+// order, excluding the receiver and results.
+func declParams(fn *modFunc) []types.Object {
+	p := fn.pass()
+	var out []types.Object
+	for _, field := range fn.decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed param still occupies a position
+			continue
+		}
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			out = append(out, obj)
+		}
+	}
+	// Replace nil placeholders with throwaway distinct keys so index
+	// math stays positional; they are never looked up.
+	for i, obj := range out {
+		if obj == nil {
+			out[i] = types.NewVar(fn.decl.Pos(), nil, "_", types.Typ[types.Int])
+		}
+	}
+	return out
+}
+
+func isVariadicDecl(fn *modFunc) bool {
+	params := fn.decl.Type.Params.List
+	if len(params) == 0 {
+		return false
+	}
+	_, ok := params[len(params)-1].Type.(*ast.Ellipsis)
+	return ok
+}
+
+// addressTakenFuncs finds module functions whose value escapes: an
+// identifier or selector use that is not the callee of a call. Their
+// call sites are untrackable, so their parameters are top.
+func (m *Module) addressTakenFuncs() map[*modFunc]bool {
+	out := map[*modFunc]bool{}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			callees := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					callees[fun] = true
+				case *ast.SelectorExpr:
+					callees[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callees[id] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if fn := m.byObj[obj]; fn != nil {
+					out[fn] = true
+				} else if id := funcID(obj); id != "" {
+					if fn := m.funcs[id]; fn != nil {
+						out[fn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// litAbs analyzes a function literal occurring inside fn's body with
+// parameter seeds taken from its call site when it is immediately
+// invoked (including `go lit(args)` / `defer lit(args)`), and captured
+// variables seeded from the snapshot of the enclosing state at the
+// literal's position. callArgs is nil for escaping literals (stored,
+// returned, passed as a value), whose parameters are top.
+//
+// Soundness caveat, documented in DESIGN.md §15: the capture snapshot
+// is the state at literal creation; a `go` literal actually runs later,
+// so captured variables that are written between creation and execution
+// must not be trusted — findVolatile already blanks any variable
+// assigned inside some literal, and the spawner idiom re-binds loop
+// variables by parameter passing, which this seeding models exactly.
+func litAbs(p *Pass, fa *funcAbs, lit *ast.FuncLit, callArgs []ast.Expr, mod *Module) *funcAbs {
+	seed := map[types.Object]ival{}
+	lenSeed := map[types.Object]ival{}
+
+	// Capture seeding: every tracked outer variable at the snapshot,
+	// minus anything volatile (findVolatile of the inner body will
+	// additionally blank inner writes).
+	if env, ok := fa.litEnv[lit]; ok {
+		for obj, v := range env.iv {
+			seed[obj] = v
+		}
+		for key, v := range env.lens {
+			if key.path == "" {
+				lenSeed[key.root] = v
+			}
+		}
+	}
+
+	// Call-site parameter seeding.
+	params := litParams(p, lit)
+	if callArgs != nil {
+		env := fa.litEnv[lit]
+		if env == nil {
+			env = newEnv()
+		}
+		for i, obj := range params {
+			if obj == nil || i >= len(callArgs) {
+				continue
+			}
+			if isIntType(obj.Type()) {
+				v, _ := fa.evalIval(env, callArgs[i])
+				seed[obj] = v
+			}
+			if t := p.TypeOf(callArgs[i]); t != nil && isSliceLike(t) {
+				if l, ok := fa.evalLen(env, callArgs[i]); ok {
+					lenSeed[obj] = l
+				}
+			}
+		}
+	}
+
+	all := paramObjects(p, lit)
+	// The outer captures are not params, but entryEnv only seeds params;
+	// analyzeFunc accepts extra seed entries for non-params via the env
+	// maps directly.
+	inner := &funcAbs{
+		p: p, body: lit.Body, params: all,
+		cfg:      buildCFG(lit.Body),
+		volatile: map[types.Object]bool{},
+		rangeAt:  map[int]*ast.RangeStmt{},
+		litEnv:   map[*ast.FuncLit]*absEnv{},
+		seed:     seed,
+		lenSeed:  lenSeed,
+		mod:      mod,
+	}
+	// Outer volatility transfers: what the outer pass refused to track,
+	// the inner pass must refuse too — except objects declared inside
+	// this very literal, whose writes the outer findVolatile saw as
+	// "assigned in a nested literal" but which are ordinary locals here
+	// (the strided loop's own counter, most importantly).
+	for obj := range fa.volatile {
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			continue
+		}
+		inner.volatile[obj] = true
+	}
+	inner.findVolatile()
+	inner.findRanges()
+	inner.entryExtra = func(env *absEnv) {
+		for obj, v := range seed {
+			if _, isParam := env.iv[obj]; !isParam {
+				if isIntType(obj.Type()) && !inner.volatile[obj] {
+					env.iv[obj] = v
+					env.pv[obj] = provControl
+				}
+			}
+		}
+		for obj, v := range lenSeed {
+			if !inner.volatile[obj] {
+				env.lens[symKey{root: obj}] = v
+			}
+		}
+	}
+	inner.solve()
+	return inner
+}
+
+// litParams returns the literal's declared parameter objects in
+// positional order (nil for unnamed).
+func litParams(p *Pass, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	for _, field := range lit.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, p.Info.Defs[name])
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package analysis
+
+// intwidth makes the 64-bit assumption behind the size computations
+// explicit and checked. The hot packages size buffers with expressions
+// like n*n and n*(n-1)/2; at the n ≥ 10⁵ scale those exceed int32, so
+// they are only safe because `int` is 64 bits wide on every supported
+// platform. The analyzer enforces three things:
+//
+//  1. Every allowlisted package carries the compile-time width pin
+//
+//     // int must be 64-bit: ... (any doc comment)
+//     const _ uint = 1 << 62
+//
+//     which fails to compile on a 32-bit-int platform, turning the
+//     silent assumption into a build error. A package without the pin
+//     is a finding.
+//
+//  2. Arithmetic carried out in an explicit sub-64-bit integer type
+//     (int32 and narrower) must have a result provably within that
+//     type — products and shifts of unbounded 32-bit values are
+//     findings even though the same expression in `int` is fine.
+//
+//  3. A narrowing conversion (int → int32 etc.) must have an operand
+//     interval provably within the target's range; unbounded knob
+//     values need a clamp before the conversion.
+//
+// go/types checks this module with the host's 64-bit sizes, so the
+// interval engine's constant arithmetic is 64-bit too; the pin is what
+// makes that assumption true everywhere else.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+var intWidthPackages = []string{
+	"repro/internal/core",
+	"repro/internal/exact",
+	"repro/internal/steiner",
+	"repro/internal/geom",
+	"repro/internal/graph",
+	"repro/internal/engine",
+}
+
+// IntWidth reports size computations that are not provably done in 64
+// bits: missing width pins, sub-64-bit arithmetic that can overflow,
+// and unguarded narrowing conversions.
+var IntWidth = &Analyzer{
+	Name: "intwidth",
+	Doc:  "size computations must be provably 64-bit: width pin present, no overflowing 32-bit arithmetic or unguarded narrowing",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, intWidthPackages...)
+	},
+	Run: runIntWidth,
+}
+
+func runIntWidth(p *Pass) {
+	if len(p.Files) == 0 {
+		return
+	}
+	if !hasWidthPin(p) {
+		p.Reportf(p.Files[0].Package,
+			"package lacks the 64-bit width pin `const _ uint = 1 << 62`; size computations like n*n assume it")
+	}
+	forEachFuncAbs(p, func(fa *funcAbs, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BinaryExpr:
+				checkNarrowArith(p, fa, n)
+			case *ast.CallExpr:
+				checkNarrowConv(p, fa, n)
+			}
+			return true
+		})
+	})
+}
+
+// hasWidthPin reports whether any file of the package declares the
+// blank uint constant 1<<62.
+func hasWidthPin(p *Pass) bool {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "_" {
+					continue
+				}
+				if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != "uint" {
+					continue
+				}
+				if len(vs.Values) != 1 {
+					continue
+				}
+				tv, ok := p.Info.Types[vs.Values[0]]
+				if !ok || tv.Value == nil {
+					continue
+				}
+				if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact && v == 1<<62 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// narrowRange returns the value range of a sub-64-bit integer type, or
+// ok=false for 64-bit and non-integer types.
+func narrowRange(t types.Type) (lo, hi int64, ok bool) {
+	b, isBasic := t.Underlying().(*types.Basic)
+	if !isBasic {
+		return 0, 0, false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return math.MinInt8, math.MaxInt8, true
+	case types.Int16:
+		return math.MinInt16, math.MaxInt16, true
+	case types.Int32:
+		return math.MinInt32, math.MaxInt32, true
+	case types.Uint8:
+		return 0, math.MaxUint8, true
+	case types.Uint16:
+		return 0, math.MaxUint16, true
+	case types.Uint32:
+		return 0, math.MaxUint32, true
+	}
+	return 0, 0, false
+}
+
+// fitsRange reports whether the interval is provably within [lo, hi].
+func fitsRange(env *absEnv, v ival, lo, hi int64) bool {
+	return leqBound(env, constBound(lo), v.lo, 2) && leqBound(env, v.hi, constBound(hi), 2)
+}
+
+// checkNarrowArith reports *, <<, + carried out in a sub-64-bit type
+// whose mathematical result is not provably representable there.
+func checkNarrowArith(p *Pass, fa *funcAbs, e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.MUL, token.SHL, token.ADD:
+	default:
+		return
+	}
+	t := p.TypeOf(e)
+	lo, hi, ok := narrowRange(t)
+	if !ok {
+		return
+	}
+	if tv, isConst := p.Info.Types[e]; isConst && tv.Value != nil {
+		return // constant expressions are checked by the compiler
+	}
+	env := fa.envAt(e.Pos())
+	vx, _ := fa.evalIval(env, e.X)
+	vy, _ := fa.evalIval(env, e.Y)
+	var r ival
+	switch e.Op {
+	case token.MUL:
+		r = mulIval(vx, vy)
+	case token.ADD:
+		r = addIval(vx, vy)
+	case token.SHL:
+		if c, cok := constOf(vy); cok && c >= 0 && c < 62 {
+			r = mulIval(vx, constIval(int64(1)<<uint(c)))
+		} else {
+			r = topIval
+		}
+	}
+	if fitsRange(env, r, lo, hi) {
+		return
+	}
+	p.Reportf(e.Pos(), "%s-typed %s is not provably within the type's range; do the arithmetic in int (64-bit, see the width pin) and convert after a clamp",
+		t.String(), opName(e.Op))
+}
+
+func opName(op token.Token) string {
+	switch op {
+	case token.MUL:
+		return "product"
+	case token.ADD:
+		return "sum"
+	case token.SHL:
+		return "shift"
+	}
+	return op.String()
+}
+
+// checkNarrowConv reports T(x) where T is sub-64-bit and x's interval
+// is not provably within T's range.
+func checkNarrowConv(p *Pass, fa *funcAbs, call *ast.CallExpr) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	lo, hi, ok := narrowRange(tv.Type)
+	if !ok {
+		return
+	}
+	arg := call.Args[0]
+	at := p.TypeOf(arg)
+	if at == nil || !isIntType(at) {
+		return
+	}
+	if alo, ahi, narrow := narrowRange(at); narrow && alo >= lo && ahi <= hi {
+		return // widening or same-width: always fits
+	}
+	if atv, isConst := p.Info.Types[arg]; isConst && atv.Value != nil {
+		return // constant conversions are compiler-checked
+	}
+	env := fa.envAt(call.Pos())
+	v, _ := fa.evalIval(env, arg)
+	if fitsRange(env, v, lo, hi) {
+		return
+	}
+	p.Reportf(call.Pos(), "narrowing conversion %s(%s): operand is not provably within [%d, %d]; clamp before converting",
+		tv.Type.String(), types.ExprString(arg), lo, hi)
+}

@@ -1,0 +1,130 @@
+package analysis
+
+// nilflow reports dereferences of pointers and writes through maps that
+// the value-flow layer shows *may be nil on some path*: a nil literal
+// or zero-value binding reaches the site, or a dominating `x == nil`
+// branch admits it. Absence of evidence is not a finding — parameters
+// and opaque call results are assumed non-nil, so the analyzer's
+// positives are flows the code itself introduced.
+//
+// The nil-gated obs idiom is the intended proof, not a finding:
+//
+//	sc := reg.Scope(name)   // may return nil: no evidence either way
+//	if sc != nil {
+//	    sc.Counter(n).Inc() // refined non-nil on this edge: clean
+//	}
+//
+// and the converse — a deref on the nil edge of the programmer's own
+// check — is the canonical true positive:
+//
+//	if p == nil { log.Print(p.f) } // finding
+//
+// Map reads are exempt (reading a nil map is defined); map writes and
+// deletes panic and are checked.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var nilFlowPackages = []string{
+	"repro/internal/core",
+	"repro/internal/exact",
+	"repro/internal/steiner",
+	"repro/internal/geom",
+	"repro/internal/graph",
+	"repro/internal/engine",
+	"repro/internal/serve",
+	"repro/internal/obs",
+	"repro/internal/router",
+}
+
+// NilFlow reports derefs of possibly-nil pointers and writes through
+// possibly-nil maps, as proved by the value-flow nil lattice.
+var NilFlow = &Analyzer{
+	Name: "nilflow",
+	Doc:  "pointer derefs and map writes must not be reachable by a value that is nil on some path",
+	AppliesTo: func(importPath string) bool {
+		return pathIn(importPath, nilFlowPackages...)
+	},
+	Run: runNilFlow,
+}
+
+func runNilFlow(p *Pass) {
+	forEachFuncAbs(p, func(fa *funcAbs, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.StarExpr:
+				checkNilDeref(p, fa, n.X, "dereference")
+			case *ast.SelectorExpr:
+				// Field access / method call through a pointer-typed
+				// identifier auto-derefs. Selections on package names,
+				// struct values and interfaces are not derefs.
+				if t := p.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Pointer); ok {
+						checkNilDeref(p, fa, n.X, "selector")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkNilMapWrite(p, fa, lhs)
+				}
+			case *ast.IndexExpr:
+				// Reads of nil maps and nil slices are defined (zero
+				// value / len 0, the latter indexbound's concern), and
+				// so is delete on a nil map; only the write side,
+				// handled via AssignStmt above, panics.
+				return true
+			}
+			return true
+		})
+	})
+}
+
+// checkNilDeref reports when the identifier being dereferenced carries
+// positive nil evidence at this point.
+func checkNilDeref(p *Pass, fa *funcAbs, x ast.Expr, what string) {
+	obj := identObj(p, x)
+	if obj == nil || fa.volatile[obj] {
+		return
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return
+	}
+	env := fa.envAt(x.Pos())
+	st, ok := env.nl[obj]
+	if !ok || !st.mayNil {
+		return
+	}
+	if st.mayNonNil {
+		p.Reportf(x.Pos(), "%s of %s, which is nil on some path to this point", what, obj.Name())
+	} else {
+		p.Reportf(x.Pos(), "%s of %s, which is provably nil here", what, obj.Name())
+	}
+}
+
+// checkNilMapWrite reports `m[k] = v` where m may be nil.
+func checkNilMapWrite(p *Pass, fa *funcAbs, lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if t := p.TypeOf(ix.X); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			checkNilDerefMap(p, fa, ix.X)
+		}
+	}
+}
+
+func checkNilDerefMap(p *Pass, fa *funcAbs, x ast.Expr) {
+	obj := identObj(p, x)
+	if obj == nil || fa.volatile[obj] {
+		return
+	}
+	env := fa.envAt(x.Pos())
+	if st, ok := env.nl[obj]; ok && st.mayNil {
+		p.Reportf(x.Pos(), "write through map %s, which is nil on some path to this point", obj.Name())
+	}
+}

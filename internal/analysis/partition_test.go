@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPartitionKernelsProved is the static half of the partition
+// property pact (the dynamic half lives in the kernel packages'
+// partition_prop_test.go files): indexbound must classify the
+// subscripts inside the three strided partition kernels — the BKRUS
+// refresh rows, the Gabow branch pool, the BKST seed strides — as
+// PROVED, not merely fail to report them through a data/guarded
+// exemption. If a kernel edit demotes a partition subscript to
+// "unknown" the invariant still lints clean (the positive-evidence
+// doctrine stays quiet), but this test fails, which is the point:
+// ROADMAP item 2 gates kernel changes on the proofs, not the silence.
+func TestPartitionKernelsProved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: loads three real packages with dependencies")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."),
+		"./internal/core", "./internal/exact", "./internal/steiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kernelFile -> classification counts observed inside it.
+	kernels := map[string]map[string]int{
+		filepath.Join("core", "parallel.go"):    {},
+		filepath.Join("exact", "parallel.go"):   {},
+		filepath.Join("steiner", "parallel.go"): {},
+	}
+	for _, pkg := range mod.Pkgs {
+		fset := pkg.Fset
+		indexBoundHook = func(pos token.Pos, class string) {
+			file := fset.Position(pos).Filename
+			for suffix, counts := range kernels {
+				if strings.HasSuffix(file, string(filepath.Separator)+suffix) {
+					counts[class]++
+				}
+			}
+		}
+		diags := Run(pkg, []*Analyzer{IndexBound})
+		indexBoundHook = nil
+		for _, d := range diags {
+			t.Errorf("unexpected indexbound finding in %s: %s", pkg.ImportPath, d)
+		}
+	}
+	for suffix, counts := range kernels {
+		if counts["finding"] > 0 {
+			t.Errorf("%s: %d partition subscripts classified as findings", suffix, counts["finding"])
+		}
+		if counts["proved"] == 0 {
+			t.Errorf("%s: no partition subscript classified proved (got %v); the static witness is gone", suffix, counts)
+		}
+	}
+}

@@ -36,6 +36,11 @@ type Module struct {
 	hungry map[*modFunc]*hungrySummary
 	alloc  map[*modFunc]*allocSummary
 	locks  *lockGraph
+
+	// Value-flow layer caches (interval.go / intervalmod.go).
+	ivals   map[*modFunc]*ivalSummary
+	ivalAbs map[*modFunc]*funcAbs
+	chanops map[*modFunc]*chanOpSummary
 }
 
 // modFunc is one declared function or method in the module.

@@ -1,0 +1,29 @@
+// Fixture: true positives for the chanleak analyzer. Findings are
+// reported at the spawn site. Lines marked `want:chanleak` must each
+// produce exactly one diagnostic.
+package fixture
+
+// ForgottenReceive spawns a sender whose only exit is the channel
+// send, then returns early without receiving: when skip is true the
+// goroutine blocks forever.
+func ForgottenReceive(skip bool) int {
+	ch := make(chan int)
+	go func() { // want:chanleak
+		ch <- 42
+	}()
+	if skip {
+		return 0
+	}
+	return <-ch
+}
+
+// ChainBad hands its channel to a helper in another file that performs
+// no operation on it: the module-wide op summary proves no receive is
+// reachable, so the sender leaks.
+func ChainBad() {
+	ch := make(chan int)
+	go func() { // want:chanleak
+		ch <- 1
+	}()
+	ignore(ch)
+}

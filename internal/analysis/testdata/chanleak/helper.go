@@ -1,0 +1,9 @@
+// Fixture helpers: channel-op summaries must flow through these calls
+// into the pairing decisions of the other files.
+package fixture
+
+// drain receives the single value a spawned sender produces.
+func drain(ch chan int) int { return <-ch }
+
+// ignore takes the channel but never operates on it.
+func ignore(ch chan int) {}

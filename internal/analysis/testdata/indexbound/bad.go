@@ -1,0 +1,35 @@
+// Fixture: true positives for the indexbound analyzer (type-checked as
+// if it were a hot construction package). Lines marked
+// `want:indexbound` must each produce exactly one diagnostic.
+package fixture
+
+// HeadBad subscripts with a provably negative index: i is the constant
+// zero, so i-1 is -1 on every path.
+func HeadBad(s []int) int {
+	i := 0
+	return s[i-1] // want:indexbound
+}
+
+// PastEndBad reads one past the end of its own base: len(s) is a valid
+// slicing position but never a valid subscript.
+func PastEndBad(s []int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)] // want:indexbound
+}
+
+// InvertedBad slices with constant bounds that are provably inverted.
+// (Literal constants in the slice expression would be caught by the
+// compiler; routed through locals they are this analyzer's job.)
+func InvertedBad(s []int) []int {
+	lo, hi := 2, 1
+	return s[lo:hi] // want:indexbound
+}
+
+// ChainBad indexes with a sentinel returned by a helper in another
+// file: the module summary carries the constant -1 across the call.
+func ChainBad(s []int) int {
+	j := sentinel()
+	return s[j] // want:indexbound
+}

@@ -1,0 +1,64 @@
+// Fixture: clean idioms the indexbound analyzer must stay silent on,
+// plus one stale suppression (want:lint).
+package fixture
+
+import "sync"
+
+// StridedClean is the worker-partition idiom the value-flow layer
+// exists to prove: every worker's stride index stays in [0, len(out))
+// under the loop guard, with the zero floor surviving widening and the
+// worker offset seeded from the spawn arguments.
+func StridedClean(out []float64, nw int) {
+	if nw < 2 {
+		nw = 2
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < nw; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(out); i += nw {
+				out[i] *= 2
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// GuardedDataClean subscripts with data-derived indexes behind explicit
+// guards: data-derived subscripts carry no static obligation (they are
+// the conformance and property suites' job), and the guards mark them
+// deliberately handled.
+func GuardedDataClean(idx []int, vals []float64) float64 {
+	t := 0.0
+	for _, j := range idx {
+		if j >= 0 && j < len(vals) {
+			t += vals[j]
+		}
+	}
+	return t
+}
+
+// PopClean drains two stacks kept in lockstep through one guarded
+// index: a[last] proves outright, b[last] is guarded by the lockstep
+// data invariant the analyzer treats as exempt.
+func PopClean(a, b []int) int {
+	t := 0
+	for len(a) > 0 {
+		last := len(a) - 1
+		t += a[last] + b[last]
+		a = a[:last]
+		b = b[:last]
+	}
+	return t
+}
+
+// StaleSuppression subscripts a slice the dominating guard proves
+// non-empty; the suppression is therefore unused and must be reported.
+func StaleSuppression(s []int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	//lint:ignore indexbound suppressing an index the guard already proves in range // want:lint
+	return s[0]
+}

@@ -1,0 +1,6 @@
+// Fixture helpers: interprocedural facts must flow through the module
+// summary into the findings and proofs of the other files.
+package fixture
+
+// sentinel returns the not-found marker ChainBad forgets to check.
+func sentinel() int { return -1 }

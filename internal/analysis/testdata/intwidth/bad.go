@@ -1,0 +1,27 @@
+// Fixture: true positives for the intwidth analyzer. The width pin
+// lives in clean.go, so every finding here is about arithmetic, not
+// the pin. Lines marked `want:intwidth` must each produce exactly one
+// diagnostic.
+package fixture
+
+// CellsBad computes a cell count in int32: the product of two
+// unbounded 32-bit values overflows silently.
+func CellsBad(n int32) int32 {
+	return n * n // want:intwidth
+}
+
+// ShiftBad shifts an unbounded 32-bit value out of its type's range.
+func ShiftBad(n int32) int32 {
+	return n << 8 // want:intwidth
+}
+
+// NarrowBad converts an unbounded size to int32 without a clamp.
+func NarrowBad(n int) int32 {
+	return int32(n) // want:intwidth
+}
+
+// ChainBad narrows a size computed by a helper in another file whose
+// result summary is unbounded above.
+func ChainBad(k int) int32 {
+	return int32(pairCount(k)) // want:intwidth
+}

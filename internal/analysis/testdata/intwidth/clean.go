@@ -1,0 +1,44 @@
+// Fixture: clean idioms the intwidth analyzer must stay silent on,
+// plus one stale suppression (want:lint).
+package fixture
+
+import "math"
+
+// The width pin is itself the first clean idiom: the blank constant
+// fails to compile where int is narrower than 63 bits, which is what
+// licenses WideClean's arithmetic.
+const _ uint = 1 << 62
+
+// WideClean does the size arithmetic in int, which the pin above
+// guarantees is 64 bits; nothing to flag.
+func WideClean(n int) int {
+	return n * n
+}
+
+// ClampedConvClean clamps before narrowing, so the operand interval
+// provably fits int32.
+func ClampedConvClean(n int) int32 {
+	if n < 0 {
+		n = 0
+	}
+	if n > math.MaxInt32 {
+		n = math.MaxInt32
+	}
+	return int32(n)
+}
+
+// KnobClean narrows a value a helper in another file has already
+// clamped: the proof crosses the call through the result summary.
+func KnobClean(n int) int32 {
+	return int32(clampWorkers(n))
+}
+
+// StaleSuppression narrows after a clamp the analyzer already proves;
+// the suppression is therefore unused and must be reported.
+func StaleSuppression(n int) int32 {
+	if n < 0 || n > 100 {
+		n = 0
+	}
+	//lint:ignore intwidth suppressing a conversion the clamp already proves // want:lint
+	return int32(n)
+}

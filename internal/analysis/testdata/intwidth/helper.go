@@ -1,0 +1,21 @@
+// Fixture helpers: result summaries must flow through the module fixed
+// point into the conversion checks of the other files.
+package fixture
+
+// pairCount is the classic n*(n-1)/2 size computation, done in int as
+// the width pin demands; its result summary is unbounded above.
+func pairCount(n int) int {
+	return n * (n - 1) / 2
+}
+
+// clampWorkers bounds a knob to [0, 1024]; its result summary proves
+// the narrowing in KnobClean.
+func clampWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+// Fixture: true positives for the nilflow analyzer. Lines marked
+// `want:nilflow` must each produce exactly one diagnostic.
+package fixture
+
+type node struct {
+	next *node
+	val  int
+}
+
+// DerefBad dereferences a pointer that is nil unless the branch ran.
+func DerefBad(on bool) int {
+	var p *int
+	if on {
+		v := 7
+		p = &v
+	}
+	return *p // want:nilflow
+}
+
+// MapWriteBad writes into a map that is provably nil: reads of a nil
+// map are defined, writes panic.
+func MapWriteBad() {
+	var m map[string]int
+	m["k"] = 1 // want:nilflow
+}
+
+// ChainBad dereferences a result that another file's helper returns
+// nil on one path; the nil-state crosses the call through the module
+// summary.
+func ChainBad(on bool) int {
+	h := lookup(on)
+	return h.val // want:nilflow
+}

@@ -1,0 +1,44 @@
+// Fixture: clean idioms the nilflow analyzer must stay silent on, plus
+// one stale suppression (want:lint).
+package fixture
+
+// scope mirrors the obs idiom: a nil receiver means "observation off",
+// and every method gates on it before touching a field.
+type scope struct {
+	hits int
+}
+
+// Inc is the nil-gated method: the dominating check makes the
+// fallthrough receiver provably non-nil.
+func (s *scope) Inc() {
+	if s == nil {
+		return
+	}
+	s.hits++
+}
+
+// NilMapReadClean reads and deletes from a possibly-nil map: both are
+// defined on nil maps; only writes panic.
+func NilMapReadClean(on bool) int {
+	var m map[string]int
+	if on {
+		m = map[string]int{"k": 1}
+	}
+	delete(m, "gone")
+	return m["k"]
+}
+
+// ParamClean dereferences a parameter: parameters carry no nil
+// evidence (the conformance suites own that contract), so bottom stays
+// clean.
+func ParamClean(p *int) int {
+	return *p
+}
+
+// StaleSuppression dereferences a fresh address, which is provably
+// non-nil; the suppression is therefore unused and must be reported.
+func StaleSuppression(on bool) bool {
+	q := &on
+	//lint:ignore nilflow suppressing a deref of a fresh address // want:lint
+	return *q
+}

@@ -1,0 +1,11 @@
+// Fixture helpers: the nil-state of lookup's result must flow through
+// the module summary into ChainBad's finding.
+package fixture
+
+// lookup returns the head node, or nil when disabled.
+func lookup(on bool) *node {
+	if on {
+		return &node{val: 3}
+	}
+	return nil
+}

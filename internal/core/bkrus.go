@@ -384,6 +384,7 @@ type engine struct {
 
 func newEngine(in *inst.Instance, b Bounds, cfg Config) *engine {
 	n := in.N()
+	guardVertexIDSpace(n)
 	e := &engine{
 		n:       n,
 		sparse:  cfg.Geometry.Sparse(n),

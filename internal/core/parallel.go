@@ -35,6 +35,7 @@ package core
 // and the witness-scan counter totals.
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,11 @@ var refreshWorkersKnob atomic.Int32
 func SetRefreshWorkers(n int) int {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		// The knob is stored in an atomic.Int32; an absurd worker count
+		// would otherwise truncate silently (possibly to a negative).
+		n = math.MaxInt32
 	}
 	return int(refreshWorkersKnob.Swap(int32(n)))
 }

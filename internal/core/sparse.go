@@ -51,18 +51,25 @@ func fillPathsInto(adj [][]graph.Adj, root int, out []float64, snp, spp *[]int32
 	out[root] = 0
 	sn := (*snp)[:0]
 	sp := (*spp)[:0]
+	//lint:ignore intwidth root is a vertex id < n, and newEngine guards n <= MaxInt32 (guardVertexIDSpace, pinned by TestVertexIDSpaceGuard)
 	sn = append(sn, int32(root))
 	sp = append(sp, -1)
 	for len(sn) > 0 {
-		x := int(sn[len(sn)-1])
-		par := sp[len(sp)-1]
-		sn = sn[:len(sn)-1]
-		sp = sp[:len(sp)-1]
+		// Pop both stacks through one guarded index: sn and sp grow and
+		// shrink in lockstep, and `last` is provably in range under the
+		// loop guard, so the prover sees both pops as in-bounds.
+		last := len(sn) - 1
+		x := int(sn[last])
+		par := sp[last]
+		sn = sn[:last]
+		sp = sp[:last]
 		for _, a := range adj[x] {
+			//lint:ignore intwidth adjacency targets are vertex ids < n, and newEngine guards n <= MaxInt32 (guardVertexIDSpace, pinned by TestVertexIDSpaceGuard)
 			if int32(a.To) == par {
 				continue
 			}
 			out[a.To] = out[x] + a.W
+			//lint:ignore intwidth adjacency targets are vertex ids < n, and newEngine guards n <= MaxInt32 (guardVertexIDSpace, pinned by TestVertexIDSpaceGuard)
 			sn = append(sn, int32(a.To))
 			sp = append(sp, int32(x))
 		}

@@ -1,0 +1,10 @@
+package engine
+
+// The orchestration layer forwards instance sizes into the size
+// computations of the construction packages (rows*n buffers, sweep
+// grids) carried out in int, which is only safe because int is 64 bits
+// on every supported platform. The blank constant fails to compile on
+// a 32-bit-int platform, turning the silent assumption into a build
+// error; the intwidth analyzer checks that every hot package carries
+// it.
+const _ uint = 1 << 62

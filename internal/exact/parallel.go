@@ -13,6 +13,7 @@ package exact
 // its order.
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ var branchWorkersKnob atomic.Int32
 func SetBranchWorkers(n int) int {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		// The knob is stored in an atomic.Int32; an absurd worker count
+		// would otherwise truncate silently (possibly to a negative).
+		n = math.MaxInt32
 	}
 	return int(branchWorkersKnob.Swap(int32(n)))
 }

@@ -1,0 +1,9 @@
+package exact
+
+// The branch-and-bound state sizes its tables with products of the
+// instance size (subset counts, partition cross-products) carried out
+// in int, which is only safe because int is 64 bits on every supported
+// platform. The blank constant fails to compile on a 32-bit-int
+// platform, turning the silent assumption into a build error; the
+// intwidth analyzer checks that every hot package carries it.
+const _ uint = 1 << 62

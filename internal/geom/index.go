@@ -84,6 +84,12 @@ type Index struct {
 // copied.
 func NewIndex(pts []Point, m Metric) *Index {
 	n := len(pts)
+	if n > math.MaxInt32 {
+		// Point ids are stored as int32 throughout the index (ids, nbr,
+		// the CSR buckets); check the assumption once at the boundary so
+		// every conversion below it is provably in range.
+		panic("geom: point count exceeds the int32 id space")
+	}
 	ix := &Index{pts: pts, m: m}
 	if n == 0 {
 		return ix

@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,11 @@ var matrixWorkersKnob atomic.Int32
 func SetMatrixWorkers(n int) int {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		// The knob is stored in an atomic.Int32; an absurd worker count
+		// would otherwise truncate silently (possibly to a negative).
+		n = math.MaxInt32
 	}
 	return int(matrixWorkersKnob.Swap(int32(n)))
 }

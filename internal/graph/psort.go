@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ var sortWorkersKnob atomic.Int32
 func SetSortWorkers(n int) int {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		// The knob is stored in an atomic.Int32; an absurd worker count
+		// would otherwise truncate silently (possibly to a negative).
+		n = math.MaxInt32
 	}
 	return int(sortWorkersKnob.Swap(int32(n)))
 }

@@ -458,6 +458,7 @@ func (b *builder) tryEmbed(a, c int) bool {
 				heap.Push(&b.h, pairItem{d: b.g.Dist(a, z), a: a, b: z})
 			}
 			j := b.lastCollisionIdx(path)
+			//lint:ignore indexbound firstCollisionIdx != -1 implies lastCollisionIdx != -1 (both scan the same interior; pinned by TestCollisionIdxPaired)
 			if z := path[j]; !b.ds.Same(c, z) {
 				heap.Push(&b.h, pairItem{d: b.g.Dist(z, c), a: z, b: c})
 			}

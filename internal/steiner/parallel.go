@@ -10,6 +10,7 @@ package steiner
 
 import (
 	"container/heap"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,11 @@ var seedWorkersKnob atomic.Int32
 func SetSeedWorkers(n int) int {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		// The knob is stored in an atomic.Int32; an absurd worker count
+		// would otherwise truncate silently (possibly to a negative).
+		n = math.MaxInt32
 	}
 	return int(seedWorkersKnob.Swap(int32(n)))
 }

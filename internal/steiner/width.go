@@ -1,0 +1,9 @@
+package steiner
+
+// The heuristic sizes its candidate structures with products of the
+// terminal count (pair heaps, collision tables) carried out in int,
+// which is only safe because int is 64 bits on every supported
+// platform. The blank constant fails to compile on a 32-bit-int
+// platform, turning the silent assumption into a build error; the
+// intwidth analyzer checks that every hot package carries it.
+const _ uint = 1 << 62

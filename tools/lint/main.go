@@ -1,7 +1,8 @@
 // Command lint runs the repository's domain-invariant analyzers (see
 // internal/analysis: floatcmp, maporder, wallclock, obsgate, ctxpoll,
 // parallelgate, waitpair, sharedwrite, errdrop, detflow, ctxflow,
-// allocloop, lockorder) over the packages matching the given patterns
+// allocloop, lockorder, indexbound, nilflow, intwidth, chanleak) over
+// the packages matching the given patterns
 // and prints one file:line:col diagnostic per finding. It exits 0 on a
 // clean tree, 1 when there are findings, and 2 on usage or load errors
 // — a package that fails to list, parse or type-check is reported by
@@ -13,7 +14,7 @@
 //
 // Usage:
 //
-//	lint [-list] [-dir dir] [-analyzer names] [packages]
+//	lint [-list] [-dir dir] [-analyzer names] [-format text|json] [packages]
 //
 // With no patterns it lints ./... . The packages are loaded together
 // as one module so the interprocedural analyzers see cross-package
@@ -22,9 +23,17 @@
 // with `//lint:ignore <analyzer> <reason>`; see the "Code invariants"
 // section of the README for what each analyzer enforces and when a
 // suppression is legitimate.
+//
+// -format json emits one JSON array of findings (file, line, col,
+// analyzer, message, suppressed) for machine consumers — CI turns it
+// into GitHub annotations. JSON mode also includes the findings that
+// reasoned //lint:ignore directives cover, flagged "suppressed": true,
+// so the suppression load is auditable; only unsuppressed findings
+// count toward the exit code, which is the same in both formats.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,11 +56,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", "", "directory to resolve package patterns in (default: current directory)")
 	only := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
+	format := fs.String("format", "text", "output format: text or json")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lint [-list] [-dir dir] [-analyzer names] [packages]")
+		fmt.Fprintln(stderr, "usage: lint [-list] [-dir dir] [-analyzer names] [-format text|json] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "lint: unknown -format=%s (want text or json)\n", *format)
 		return 2
 	}
 
@@ -80,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if *format == "json" {
+		return runJSON(mod, analyzers, stdout, stderr)
+	}
 	findings := 0
 	for _, pkg := range mod.Pkgs {
 		for _, d := range analysis.Run(pkg, analyzers) {
@@ -89,6 +106,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if findings > 0 {
 		fmt.Fprintf(stderr, "lint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the machine-readable diagnostic shape. The field set
+// is a compatibility contract with the CI annotation step; extend it,
+// don't rename it.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// runJSON prints every finding — suppressed ones flagged — as one JSON
+// array. The exit code ignores suppressed findings, matching text mode.
+func runJSON(mod *analysis.Module, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	out := []jsonFinding{} // encode [] on a clean tree, not null
+	active := 0
+	for _, pkg := range mod.Pkgs {
+		for _, d := range analysis.RunAll(pkg, analyzers) {
+			out = append(out, jsonFinding{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+			if !d.Suppressed {
+				active++
+			}
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(stderr, "lint:", err)
+		return 2
+	}
+	if active > 0 {
+		fmt.Fprintf(stderr, "lint: %d finding(s)\n", active)
 		return 1
 	}
 	return 0

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -162,5 +163,91 @@ func TestCleanExitZero(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("unexpected stdout:\n%s", out.String())
+	}
+}
+
+// TestJSONFormat pins the machine-readable contract: -format json
+// emits an array with file/line/col/analyzer/message/suppressed, keeps
+// findings that a reasoned //lint:ignore covers (flagged suppressed),
+// and bases the exit code on unsuppressed findings only.
+func TestJSONFormat(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"w/w.go": "package w\n\n" +
+			"func eq(a, b float64) bool { return a == b }\n\n" +
+			"//lint:ignore floatcmp pinned on purpose for the json test\n" +
+			"func eq2(a, b float64) bool { return a == b }\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "-format", "json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (one unsuppressed finding); stderr:\n%s", code, errb.String())
+	}
+	var findings []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (one active, one suppressed):\n%s", len(findings), out.String())
+	}
+	var active, suppressed int
+	for _, f := range findings {
+		if f.Analyzer != "floatcmp" {
+			t.Errorf("unexpected analyzer %q", f.Analyzer)
+		}
+		if f.File == "" || f.Line == 0 || f.Col == 0 || f.Message == "" {
+			t.Errorf("finding is missing position or message fields: %+v", f)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.Line != 6 {
+				t.Errorf("suppressed finding at line %d, want 6", f.Line)
+			}
+		} else {
+			active++
+			if f.Line != 3 {
+				t.Errorf("active finding at line %d, want 3", f.Line)
+			}
+		}
+	}
+	if active != 1 || suppressed != 1 {
+		t.Errorf("active=%d suppressed=%d, want 1 and 1", active, suppressed)
+	}
+}
+
+// TestJSONCleanTree: a clean module must emit an empty array (not
+// null) and exit 0, so the CI annotation step can always parse stdout.
+func TestJSONCleanTree(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"c/c.go": "package c\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "-format", "json", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean-tree stdout = %q, want []", got)
+	}
+}
+
+// TestUnknownFormatExitsTwo: -format outside {text,json} is a usage
+// error.
+func TestUnknownFormatExitsTwo(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-format", "xml", "."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "xml") {
+		t.Errorf("stderr does not echo the unknown format:\n%s", errb.String())
 	}
 }
